@@ -1,0 +1,34 @@
+"""Shared helpers for the per-table/figure benchmark harnesses.
+
+Every harness regenerates one table or figure of the paper's evaluation
+section and prints it in paper layout.  Full-model simulations are cached
+process-wide (see :mod:`repro.core.system`), so the suite shares runs.
+"""
+
+from __future__ import annotations
+
+from repro.core import run_benchmark
+
+BENCHMARK_LABELS = {
+    "resnet18": "ResNet-18",
+    "resnet50": "ResNet-50",
+    "bert_base": "BERT-base",
+    "opt_6_7b": "OPT-6.7B",
+}
+
+ALL_BENCHMARKS = tuple(BENCHMARK_LABELS)
+
+CNN_BENCHMARKS = ("resnet18", "resnet50")
+LLM_BENCHMARKS = ("bert_base", "opt_6_7b")
+
+
+def run(benchmark, system, with_energy=True):
+    """Cached full-model run."""
+    return run_benchmark(benchmark, system, with_energy=with_energy)
+
+
+def procedure_order(benchmark):
+    """Fig. 6 procedure ordering per benchmark family."""
+    if benchmark in CNN_BENCHMARKS:
+        return ("ConvBN", "ReLU", "Pooling", "FC", "Boot")
+    return ("Attention", "FFN", "Norm", "Boot")

@@ -1,0 +1,79 @@
+"""Extension study: topology and fabric-bandwidth sensitivity.
+
+The paper claims Hydra "supports multi-server scaling and arbitrary
+computational nodes"; this harness probes two questions the evaluation
+leaves open:
+
+1. **Server granularity** — the same 16 cards arranged as 1x16 / 2x8 /
+   4x4: how much does crossing the inter-server switch tier cost?
+2. **DTU bandwidth sensitivity** — how fast does Hydra-L degrade when
+   the per-card NIC line rate drops below QSFP28 (and how little it
+   gains above it), locating the knee of the communication budget.
+"""
+
+from dataclasses import replace
+
+from _harness import run  # noqa: F401
+
+from repro.analysis import format_table
+from repro.core import HydraSystem
+from repro.hw import HYDRA_CARD, hydra_cluster
+
+
+def build_topology_study():
+    data = {}
+    for servers, per_server in ((1, 16), (2, 8), (4, 4)):
+        system = HydraSystem(hydra_cluster(servers, per_server))
+        data[("topo", servers, per_server)] = system.run(
+            "resnet18", with_energy=False
+        )
+    for gbps in (12.5, 50, 100, 200, 400):
+        card = replace(HYDRA_CARD, dtu_bandwidth=gbps * 1e9 / 8)
+        system = HydraSystem(
+            hydra_cluster(8, 8, card=card,
+                          name=f"hydra-64@{gbps:g}Gbps")
+        )
+        data[("bw", gbps)] = system.run("resnet18", with_energy=False,
+                                        use_cache=False)
+    return data
+
+
+def test_ext_topology_and_bandwidth(benchmark):
+    data = benchmark.pedantic(build_topology_study, rounds=1,
+                              iterations=1)
+
+    topo_rows = []
+    for servers, per_server in ((1, 16), (2, 8), (4, 4)):
+        r = data[("topo", servers, per_server)]
+        topo_rows.append([f"{servers}x{per_server}", r.total_seconds,
+                          100.0 * r.comm_overhead_fraction])
+    print()
+    print(format_table(
+        ["Topology", "Time (s)", "Comm %"], topo_rows,
+        title="Extension — 16 cards, varying server granularity "
+              "(ResNet-18)",
+    ))
+
+    bw_rows = []
+    for gbps in (12.5, 50, 100, 200, 400):
+        r = data[("bw", gbps)]
+        bw_rows.append([gbps, r.total_seconds,
+                        100.0 * r.comm_overhead_fraction])
+    print()
+    print(format_table(
+        ["NIC Gb/s", "Time (s)", "Comm %"], bw_rows,
+        title="Extension — Hydra-L NIC bandwidth sensitivity "
+              "(ResNet-18)",
+    ))
+
+    # Topology: fewer switch tiers never hurt (same or better).
+    t1 = data[("topo", 1, 16)].total_seconds
+    t4 = data[("topo", 4, 4)].total_seconds
+    assert t1 <= t4 * 1.05
+    # Bandwidth: monotone improvement with diminishing returns.
+    times = [data[("bw", g)].total_seconds for g in (12.5, 50, 100, 200,
+                                                     400)]
+    assert times[0] >= times[1] >= times[2] >= times[3] * 0.999
+    gain_low = times[0] / times[1]   # 12.5 -> 50 Gb/s
+    gain_high = times[3] / times[4]  # 200 -> 400 Gb/s
+    assert gain_low > gain_high      # the knee is below 200 Gb/s

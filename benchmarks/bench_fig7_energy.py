@@ -1,0 +1,58 @@
+"""Fig. 7: full-system energy consumption and breakdown.
+
+Prints total energy and the NTT / MM / MA / Auto / HBM / DTU / static
+shares for every benchmark on the three Hydra prototypes, and asserts the
+paper's findings: memory access dominates everywhere; NTT and MM dominate
+among the compute units; MA is minimal; DTU stays below 1%.
+"""
+
+from _harness import ALL_BENCHMARKS, BENCHMARK_LABELS, run
+
+from repro.analysis import format_table
+
+_SYSTEMS = ("Hydra-S", "Hydra-M", "Hydra-L")
+_COMPONENTS = ("ntt", "mm", "ma", "auto", "hbm", "dtu", "static")
+
+
+def build_fig7():
+    energies = {}
+    for bench in ALL_BENCHMARKS:
+        for system in _SYSTEMS:
+            energies[(bench, system)] = run(bench, system).energy
+    return energies
+
+
+def test_fig7_energy(benchmark):
+    energies = benchmark.pedantic(build_fig7, rounds=1, iterations=1)
+    rows = []
+    for bench in ALL_BENCHMARKS:
+        for system in _SYSTEMS:
+            acc = energies[(bench, system)]
+            shares = acc.breakdown()
+            rows.append(
+                [BENCHMARK_LABELS[bench], system, acc.total / 1e3]
+                + [100.0 * shares[c] for c in _COMPONENTS]
+            )
+    print()
+    print(format_table(
+        ["Model", "System", "Energy (kJ)"]
+        + [c.upper() + " %" for c in _COMPONENTS],
+        rows,
+        title="Fig. 7 — energy consumption and breakdown",
+    ))
+
+    for bench in ALL_BENCHMARKS:
+        for system in _SYSTEMS:
+            shares = energies[(bench, system)].breakdown()
+            dynamic = {c: shares[c] for c in
+                       ("ntt", "mm", "ma", "auto", "hbm", "dtu")}
+            # Memory access takes the largest share (paper Section V-C).
+            assert max(dynamic, key=dynamic.get) == "hbm", (bench, system)
+            # NTT and MM dominate among CUs; MA is minimal.
+            assert shares["ma"] < shares["ntt"]
+            assert shares["ma"] < shares["mm"]
+            # DTU below 1% even on Hydra-L.
+            assert shares["dtu"] < 0.01, (bench, system)
+        # Multi-card runs add communication energy on top.
+        assert (energies[(bench, "Hydra-S")].joules["dtu"] == 0.0)
+        assert (energies[(bench, "Hydra-M")].joules["dtu"] > 0.0)

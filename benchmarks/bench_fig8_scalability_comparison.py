@@ -1,0 +1,87 @@
+"""Fig. 8: communication/computation overhead — Hydra vs FAB at 8 and 64
+cards.
+
+Both architectures run the *same* task decomposition and mapping (the
+paper's fair-comparison methodology); the difference is purely hardware:
+Hydra's DTU + switch vs FAB's host-mediated PCIe + LAN.  Prints the
+per-procedure compute vs exposed-communication split, normalized to FAB,
+and asserts the paper's claims: FAB's communication overhead dwarfs
+Hydra's; FAB-L's share reaches ~90% on the worst procedures; Hydra-L's
+communication share stays low in absolute terms.
+"""
+
+from _harness import ALL_BENCHMARKS, BENCHMARK_LABELS, procedure_order, run
+
+from repro.analysis import format_table
+
+_PAIRS = (("Hydra-M", "FAB-M"), ("Hydra-L", "FAB-L"))
+
+
+def build_fig8():
+    data = {}
+    for bench in ALL_BENCHMARKS:
+        for pair in _PAIRS:
+            for system in pair:
+                data[(bench, system)] = run(bench, system,
+                                            with_energy=False)
+    return data
+
+
+def test_fig8_scalability_comparison(benchmark):
+    data = benchmark.pedantic(build_fig8, rounds=1, iterations=1)
+    rows = []
+    for bench in ALL_BENCHMARKS:
+        for hydra_name, fab_name in _PAIRS:
+            fab = data[(bench, fab_name)]
+            hydra = data[(bench, hydra_name)]
+            for system, r in ((hydra_name, hydra), (fab_name, fab)):
+                comp = sum(r.procedure_compute.values())
+                comm = sum(r.procedure_comm.values())
+                rows.append([
+                    BENCHMARK_LABELS[bench], system,
+                    r.total_seconds / fab.total_seconds,
+                    100.0 * comm / r.total_seconds,
+                ])
+    print()
+    print(format_table(
+        ["Model", "System", "Time (norm. to FAB)", "Comm overhead %"],
+        rows,
+        title="Fig. 8 — scalability comparison (same mapping, both "
+              "architectures)",
+    ))
+
+    # Per-procedure view for one representative benchmark.
+    proc_rows = []
+    for system in ("Hydra-L", "FAB-L"):
+        r = data[("resnet18", system)]
+        for proc in procedure_order("resnet18"):
+            span = r.procedure_span[proc]
+            comm = r.procedure_comm[proc]
+            proc_rows.append([system, proc, span,
+                              100.0 * comm / span if span else 0.0])
+    print()
+    print(format_table(
+        ["System", "Procedure", "Span (s)", "Comm %"],
+        proc_rows,
+        title="Fig. 8 (detail) — ResNet-18 per-procedure overheads at 64 "
+              "cards",
+    ))
+
+    for bench in ALL_BENCHMARKS:
+        for hydra_name, fab_name in _PAIRS:
+            hydra = data[(bench, hydra_name)]
+            fab = data[(bench, fab_name)]
+            # Hydra is faster and has a smaller comm share.
+            assert hydra.total_seconds < fab.total_seconds
+            assert (hydra.comm_overhead_fraction
+                    < fab.comm_overhead_fraction)
+        # FAB-L's communication overhead explodes vs FAB-M's.
+        assert (data[(bench, "FAB-L")].comm_overhead_fraction
+                > data[(bench, "FAB-M")].comm_overhead_fraction)
+    # The worst FAB-L procedures approach ~90% communication (paper).
+    fab_l = data[("resnet18", "FAB-L")]
+    worst = max(
+        fab_l.procedure_comm[p] / fab_l.procedure_span[p]
+        for p in fab_l.procedure_span
+    )
+    assert worst > 0.75

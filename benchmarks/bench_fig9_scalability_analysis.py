@@ -1,0 +1,101 @@
+"""Fig. 9: scalability analysis — efficiency and communication share vs
+card count.
+
+(a)/(b): per-procedure efficiency curves for ResNet-50 and OPT-6.7B as
+cards grow 1 → 64 (normalized speedup / cards).  (c): communication
+overhead share for all four benchmarks.  Asserts the paper's claims:
+ConvBN scales faster than Boot for ResNet-50; OPT's procedures keep a
+high growth rate; ResNet-18's communication share grows fastest while
+OPT's grows slowest.
+"""
+
+from _harness import ALL_BENCHMARKS, BENCHMARK_LABELS, run
+
+from repro.analysis import format_table
+from repro.core import HydraSystem
+from repro.hw import hydra_cluster
+
+_CARD_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def _system_for(cards):
+    if cards == 1:
+        return "Hydra-S"
+    if cards == 8:
+        return "Hydra-M"
+    if cards == 64:
+        return "Hydra-L"
+    return None
+
+
+def _run(bench, cards):
+    name = _system_for(cards)
+    if name is not None:
+        return run(bench, name, with_energy=False)
+    servers = 1 if cards <= 8 else cards // 8
+    per_server = cards if cards <= 8 else 8
+    system = HydraSystem(hydra_cluster(servers, per_server))
+    return system.run(bench, with_energy=False)
+
+
+def build_fig9():
+    sweep = {}
+    for bench in ALL_BENCHMARKS:
+        for cards in _CARD_COUNTS:
+            sweep[(bench, cards)] = _run(bench, cards)
+    return sweep
+
+
+def test_fig9_scalability_analysis(benchmark):
+    sweep = benchmark.pedantic(build_fig9, rounds=1, iterations=1)
+
+    # (a)/(b) per-procedure speedup curves for ResNet-50 and OPT-6.7B.
+    for bench, procs in (("resnet50", ("ConvBN", "Boot")),
+                         ("opt_6_7b", ("Attention", "FFN", "Boot"))):
+        base = sweep[(bench, 1)].procedure_span
+        rows = []
+        for cards in _CARD_COUNTS:
+            spans = sweep[(bench, cards)].procedure_span
+            rows.append([cards] + [base[p] / spans[p] for p in procs])
+        print()
+        print(format_table(
+            ["Cards"] + list(procs), rows,
+            title=f"Fig. 9(a/b) — {BENCHMARK_LABELS[bench]} procedure "
+                  f"speedup vs cards",
+        ))
+
+    # (c) communication overhead share vs cards for all benchmarks.
+    rows = []
+    for cards in _CARD_COUNTS:
+        rows.append([cards] + [
+            100.0 * sweep[(b, cards)].comm_overhead_fraction
+            for b in ALL_BENCHMARKS
+        ])
+    print()
+    print(format_table(
+        ["Cards"] + [BENCHMARK_LABELS[b] for b in ALL_BENCHMARKS],
+        rows,
+        title="Fig. 9(c) — communication overhead share (%) vs cards",
+    ))
+
+    # --- claims ---------------------------------------------------------
+    r50_base = sweep[("resnet50", 1)].procedure_span
+    r50_64 = sweep[("resnet50", 64)].procedure_span
+    # ConvBN scales faster than Boot (paper Section V-E).
+    assert (r50_base["ConvBN"] / r50_64["ConvBN"]
+            > r50_base["Boot"] / r50_64["Boot"])
+    # OPT keeps scaling to 64 cards.
+    opt_speedup_32 = (sweep[("opt_6_7b", 1)].total_seconds
+                      / sweep[("opt_6_7b", 32)].total_seconds)
+    opt_speedup_64 = (sweep[("opt_6_7b", 1)].total_seconds
+                      / sweep[("opt_6_7b", 64)].total_seconds)
+    assert opt_speedup_64 > 1.4 * opt_speedup_32
+    # ResNet-18's comm share grows fastest; OPT-6.7B's slowest.
+    shares_64 = {b: sweep[(b, 64)].comm_overhead_fraction
+                 for b in ALL_BENCHMARKS}
+    assert shares_64["resnet18"] == max(shares_64.values())
+    assert shares_64["opt_6_7b"] == min(shares_64.values())
+    # Communication share is monotone-ish in card count for ResNet-18.
+    assert (sweep[("resnet18", 64)].comm_overhead_fraction
+            > sweep[("resnet18", 8)].comm_overhead_fraction
+            > sweep[("resnet18", 2)].comm_overhead_fraction)

@@ -1,0 +1,61 @@
+"""Table III: efficiency analysis via Energy-Delay-Area Product.
+
+Computes 7nm-normalized EDAP for Hydra-S/M/L from simulated delay and the
+calibrated card power/area, next to the published ASIC values.  Asserts
+the paper's findings: Hydra-S is the most efficient prototype; efficiency
+decreases with scale-out; Hydra beats every ASIC except SHARP on CNNs and
+beats all of them (including SHARP) on OPT-6.7B.
+"""
+
+from _harness import ALL_BENCHMARKS, BENCHMARK_LABELS, run
+
+from repro.analysis import format_table
+from repro.baselines import ASIC_ACCELERATORS, asic_edap
+from repro.cost import EdapModel
+
+_SYSTEMS = {"Hydra-S": 1, "Hydra-M": 8, "Hydra-L": 64}
+
+
+def build_table3():
+    model = EdapModel()
+    edap = {}
+    for bench in ALL_BENCHMARKS:
+        for system, cards in _SYSTEMS.items():
+            result = run(bench, system)
+            edap[(system, bench)] = model.hydra_edap(
+                result.total_seconds, cards
+            )
+    return edap
+
+
+def test_table3_edap(benchmark):
+    edap = benchmark.pedantic(build_table3, rounds=1, iterations=1)
+    rows = []
+    for accel in ASIC_ACCELERATORS:
+        rows.append([accel + " (published)"]
+                    + [asic_edap(accel, b) for b in ALL_BENCHMARKS])
+    for system in _SYSTEMS:
+        rows.append([system] + [edap[(system, b)] for b in ALL_BENCHMARKS])
+    print()
+    print(format_table(
+        ["Accelerator"] + [BENCHMARK_LABELS[b] for b in ALL_BENCHMARKS],
+        rows,
+        title="Table III — EDAP (lower is better)",
+    ))
+
+    for bench in ALL_BENCHMARKS:
+        # Hydra-S is the most efficient prototype; M and L follow
+        # (multi-card communication costs efficiency, paper Section V-C).
+        assert (edap[("Hydra-S", bench)]
+                < edap[("Hydra-M", bench)]
+                < edap[("Hydra-L", bench)])
+        # Hydra-M's efficiency surpasses CraterLake, BTS and ARK.
+        for accel in ("CraterLake", "BTS", "ARK"):
+            assert edap[("Hydra-M", bench)] < asic_edap(accel, bench)
+        # Hydra-L beats CraterLake and BTS everywhere.
+        for accel in ("CraterLake", "BTS"):
+            assert edap[("Hydra-L", bench)] < asic_edap(accel, bench)
+    # On OPT-6.7B even Hydra-L beats every ASIC including SHARP.
+    for accel in ("CraterLake", "BTS", "ARK", "SHARP"):
+        assert edap[("Hydra-L", "opt_6_7b")] < asic_edap(accel, "opt_6_7b")
+    assert edap[("Hydra-S", "opt_6_7b")] < asic_edap("SHARP", "opt_6_7b")

@@ -1,0 +1,39 @@
+"""Table IV: FPGA resource utilization of one Hydra card.
+
+Rebuilds the structural utilization model (per-lane CU footprints +
+scratchpad BRAM + key-cache URAM) and checks it against the published
+synthesis results on the Alveo U280.
+"""
+
+import pytest
+
+from repro.hw import FpgaResourceModel, U280_RESOURCES
+
+#: Paper Table IV (utilized, available, percent).
+PAPER_TABLE4 = {
+    "LUTs (k)": (997, 1304, 76.5),
+    "FFs (k)": (1375, 2607, 52.7),
+    "DSP": (8704, 9024, 96.5),
+    "BRAM": (3072, 4032, 76.2),
+    "URAMs": (768, 962, 79.8),
+}
+
+
+def build_table4():
+    return U280_RESOURCES.utilization()
+
+
+def test_table4_resources(benchmark):
+    util = benchmark.pedantic(build_table4, rounds=1, iterations=1)
+    print()
+    print("Table IV — FPGA resource utilization (single card)")
+    print(U280_RESOURCES.table())
+
+    for key, (used, avail, pct) in PAPER_TABLE4.items():
+        got_used, got_avail, got_pct = util[key]
+        assert got_avail == pytest.approx(avail, rel=0.01), key
+        assert got_pct == pytest.approx(pct, abs=1.0), key
+    assert U280_RESOURCES.fits()
+    # Doubling the lanes would not fit the device — the design is at the
+    # resource frontier, as the 96.5% DSP utilization shows.
+    assert not FpgaResourceModel(lanes=1024).fits()

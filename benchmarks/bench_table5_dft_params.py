@@ -1,0 +1,64 @@
+"""Table V: optimal (Radix, bs) choices for the bootstrapping DFT.
+
+Runs the Eq. 1 optimizer for logSlots 12..15 on the three prototypes and
+prints the chosen parameters.  Asserts the paper's structural findings:
+radix exponents always sum to logSlots at 3 multiplicative levels; the
+chosen bs shrinks (never grows) as card count increases, because larger
+giant steps exploit more parallel cards (Section V-G).
+"""
+
+import math
+
+from _harness import run  # noqa: F401  (shared cache warmup not needed)
+
+from repro.analysis import format_table
+from repro.cost import OpCostModel
+from repro.hw import HYDRA_CARD
+from repro.sched import optimal_dft_parameters
+
+_PROTOTYPES = {"Hydra-S": 1, "Hydra-M": 8, "Hydra-L": 64}
+_SLOT_RANGE = (12, 13, 14, 15)
+
+
+def build_table5():
+    cost = OpCostModel(HYDRA_CARD)
+    table = {}
+    for slots_log in _SLOT_RANGE:
+        for name, cards in _PROTOTYPES.items():
+            params, t = optimal_dft_parameters(cost, slots_log, cards)
+            table[(slots_log, name)] = (params, t)
+    return table
+
+
+def test_table5_dft_params(benchmark):
+    table = benchmark.pedantic(build_table5, rounds=1, iterations=1)
+    rows = []
+    for slots_log in _SLOT_RANGE:
+        row = [slots_log]
+        for name in _PROTOTYPES:
+            params, _ = table[(slots_log, name)]
+            row.append(str(params.radices))
+            row.append(str(params.baby_steps))
+        rows.append(row)
+    print()
+    print(format_table(
+        ["logSlots",
+         "S Radix", "S bs", "M Radix", "M bs", "L Radix", "L bs"],
+        rows,
+        title="Table V — optimal DFT Radix and bs per prototype",
+    ))
+
+    for slots_log in _SLOT_RANGE:
+        bs_total = {}
+        for name, cards in _PROTOTYPES.items():
+            params, _ = table[(slots_log, name)]
+            # Radix exponents factorize the full transform.
+            assert sum(int(math.log2(r)) for r in params.radices) \
+                == slots_log
+            # bs divides 2*radix per level (BSGS constraint).
+            for r, b in zip(params.radices, params.baby_steps):
+                assert (2 * r) % b == 0
+            bs_total[name] = sum(params.baby_steps)
+        # bs shrinks with card count: L <= M <= S (paper Table V).
+        assert (bs_total["Hydra-L"] <= bs_total["Hydra-M"]
+                <= bs_total["Hydra-S"])

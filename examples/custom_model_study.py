@@ -1,0 +1,54 @@
+"""Bring your own model: build a custom CNN workload and size a cluster.
+
+Uses the public :class:`repro.models.CnnBuilder` to describe a
+VGG-flavored CNN, then asks the planner how many cards it takes to hit a
+latency target — the capacity-planning question a Hydra operator would
+actually ask.
+
+    python examples/custom_model_study.py
+"""
+
+from repro.analysis import format_table
+from repro.core import HydraSystem
+from repro.hw import hydra_cluster
+from repro.models import CnnBuilder
+
+
+def build_model():
+    b = CnnBuilder("vgg_flavored", input_hw=64, input_channels=3,
+                   display_name="VGG-flavored CNN")
+    b.conv(64).relu().conv(64).relu().pool(2)
+    b.conv(128).relu().conv(128).relu().pool(2)
+    b.conv(256).relu().conv(256).relu().pool(2)
+    b.fc(100)
+    return b.build()
+
+
+def main():
+    model = build_model()
+    print(f"model: {model.display_name} — {len(model.steps)} steps, "
+          f"{len(model.steps_of_kind('bootstrap'))} bootstraps\n")
+
+    target_seconds = 5.0
+    rows = []
+    chosen = None
+    for cards in (1, 2, 4, 8, 16, 32, 64):
+        servers = 1 if cards <= 8 else cards // 8
+        per_server = cards if cards <= 8 else 8
+        system = HydraSystem(hydra_cluster(servers, per_server))
+        result = system.run(model, with_energy=False)
+        rows.append([cards, result.total_seconds,
+                     100.0 * result.comm_overhead_fraction])
+        if chosen is None and result.total_seconds <= target_seconds:
+            chosen = cards
+    print(format_table(["Cards", "Time (s)", "Comm %"], rows))
+    if chosen:
+        print(f"\n=> {chosen} cards reach the {target_seconds:.0f}s "
+              f"latency target.")
+    else:
+        print(f"\n=> even 64 cards miss the {target_seconds:.0f}s target; "
+              f"this model needs more parallelism or better packing.")
+
+
+if __name__ == "__main__":
+    main()

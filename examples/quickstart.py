@@ -1,0 +1,76 @@
+"""Quickstart: encrypted arithmetic + a scale-out inference simulation.
+
+Runs in well under a minute::
+
+    python examples/quickstart.py
+
+Part 1 exercises the functional CKKS substrate (the cryptography Hydra
+accelerates): encrypt two vectors, add, multiply, rotate, decrypt.
+Part 2 simulates ResNet-18 inference on the Hydra-M prototype (1 server,
+8 FPGA cards) and prints the per-procedure time breakdown.
+"""
+
+import numpy as np
+
+from repro.ckks import (
+    CkksContext,
+    Decryptor,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+    toy_parameters,
+)
+from repro.core import HydraSystem
+
+
+def part1_encrypted_arithmetic():
+    print("=" * 64)
+    print("Part 1 — functional CKKS: compute on encrypted vectors")
+    print("=" * 64)
+    ctx = CkksContext(toy_parameters(poly_degree=256, num_scale_moduli=4))
+    keygen = KeyGenerator(ctx, seed=0)
+    encryptor = Encryptor(ctx, keygen.create_public_key(), seed=1)
+    decryptor = Decryptor(ctx, keygen.secret_key)
+    evaluator = Evaluator(ctx)
+    relin = keygen.create_relin_key()
+    galois = keygen.create_galois_keys([ctx.galois_element_for_step(1)])
+
+    x = np.array([0.5, -0.25, 1.0, 0.125])
+    y = np.array([2.0, 4.0, -1.0, 0.5])
+    ct_x = encryptor.encrypt_values(x)
+    ct_y = encryptor.encrypt_values(y)
+
+    ct_sum = evaluator.add(ct_x, ct_y)
+    ct_prod = evaluator.rescale(evaluator.multiply(ct_x, ct_y, relin))
+    ct_rot = evaluator.rotate(ct_x, 1, galois)
+
+    print(f"x        = {x}")
+    print(f"y        = {y}")
+    print(f"x + y    = {np.round(decryptor.decrypt_values(ct_sum)[:4].real, 4)}")
+    print(f"x * y    = {np.round(decryptor.decrypt_values(ct_prod)[:4].real, 4)}")
+    print(f"rot(x,1) = {np.round(decryptor.decrypt_values(ct_rot)[:4].real, 4)}")
+    print(f"levels: fresh={ct_x.level}, after multiply+rescale="
+          f"{ct_prod.level}")
+
+
+def part2_scale_out_inference():
+    print()
+    print("=" * 64)
+    print("Part 2 — Hydra-M (8 cards): encrypted ResNet-18 inference")
+    print("=" * 64)
+    single = HydraSystem.hydra_s().run("resnet18")
+    multi = HydraSystem.hydra_m().run("resnet18")
+    print(f"Hydra-S (1 card):  {single.total_seconds:8.2f} s")
+    print(f"Hydra-M (8 cards): {multi.total_seconds:8.2f} s  "
+          f"({multi.speedup_over(single):.2f}x speedup)")
+    print(f"communication overhead: "
+          f"{100 * multi.comm_overhead_fraction:.1f}%")
+    print("\nper-procedure time on Hydra-M:")
+    for proc, span in sorted(multi.procedure_span.items(),
+                             key=lambda kv: -kv[1]):
+        print(f"  {proc:8s} {span:7.2f} s")
+
+
+if __name__ == "__main__":
+    part1_encrypted_arithmetic()
+    part2_scale_out_inference()

@@ -1,0 +1,50 @@
+"""Scaling study: secure LLM inference from 1 to 64 FPGA cards.
+
+Reproduces the paper's core scalability argument on BERT-base: as cards
+are added, the large matrix-multiplication parallelism of transformers
+keeps the speedup curve steep, while communication overhead stays small
+thanks to the DTU + switch fabric and the overlap-aware task mapping.
+
+    python examples/secure_llm_scaling.py
+"""
+
+from repro.analysis import format_table
+from repro.core import HydraSystem
+from repro.hw import hydra_cluster
+
+
+def main():
+    benchmark = "bert_base"
+    print(f"Scaling {benchmark} across Hydra deployments\n")
+    rows = []
+    baseline = None
+    for cards in (1, 2, 4, 8, 16, 32, 64):
+        servers = 1 if cards <= 8 else cards // 8
+        per_server = cards if cards <= 8 else 8
+        system = HydraSystem(hydra_cluster(servers, per_server))
+        result = system.run(benchmark, with_energy=False)
+        if baseline is None:
+            baseline = result
+        speedup = baseline.total_seconds / result.total_seconds
+        rows.append([
+            cards,
+            f"{servers}x{per_server}",
+            result.total_seconds,
+            speedup,
+            100.0 * speedup / cards,
+            100.0 * result.comm_overhead_fraction,
+        ])
+    print(format_table(
+        ["Cards", "Topology", "Time (s)", "Speedup", "Efficiency %",
+         "Comm %"],
+        rows,
+    ))
+    print(
+        "\nNote how efficiency stays high through 64 cards: BERT's PCMM/"
+        "CCMM layers expose tens of thousands of parallel units (paper "
+        "Table I), far beyond the card count."
+    )
+
+
+if __name__ == "__main__":
+    main()

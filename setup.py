@@ -1,0 +1,10 @@
+"""Legacy setup shim so ``pip install -e .`` works in offline environments.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+pip can fall back to ``setup.py develop`` when PEP 660 editable builds are
+unavailable (no ``wheel`` package, no network).
+"""
+
+from setuptools import setup
+
+setup()

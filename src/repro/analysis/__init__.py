@@ -1,0 +1,13 @@
+"""Analysis and reporting: the Table I census and table rendering."""
+
+from repro.analysis.gantt import render_gantt, trace_summary
+from repro.analysis.parallelism import parallelism_census, PAPER_TABLE1
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "PAPER_TABLE1",
+    "format_table",
+    "parallelism_census",
+    "render_gantt",
+    "trace_summary",
+]

@@ -1,0 +1,59 @@
+"""Text Gantt rendering of simulation traces.
+
+Turns the :class:`~repro.sim.result.TraceEvent` stream of a traced
+simulation into a per-card timeline — the quickest way to *see* the
+paper's computation/communication overlap (compare a Hydra trace against
+a FAB trace of the same program).
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_gantt", "trace_summary"]
+
+_GLYPHS = {"compute": "#", "send": ">", "recv": "."}
+
+
+def render_gantt(trace, makespan=None, width=72, max_nodes=16):
+    """Render a trace as one text row per card.
+
+    ``#`` = computing, ``>`` = sending, ``.`` = receiving/waiting for
+    delivery, space = idle.  Overlapping activity keeps the highest-
+    priority glyph (compute > send > recv).
+    """
+    if not trace:
+        return "(empty trace)"
+    if makespan is None:
+        makespan = max(ev.end for ev in trace)
+    if makespan <= 0:
+        return "(zero-length trace)"
+    nodes = sorted({ev.node for ev in trace})
+    shown = nodes[:max_nodes]
+    priority = {"recv": 0, "send": 1, "compute": 2}
+    lines = []
+    for node in shown:
+        row = [" "] * width
+        row_priority = [-1] * width
+        for ev in trace:
+            if ev.node != node:
+                continue
+            lo = int(ev.start / makespan * width)
+            hi = max(lo + 1, int(ev.end / makespan * width))
+            for col in range(lo, min(hi, width)):
+                if priority[ev.kind] > row_priority[col]:
+                    row[col] = _GLYPHS[ev.kind]
+                    row_priority[col] = priority[ev.kind]
+        lines.append(f"card {node:3d} |{''.join(row)}|")
+    if len(nodes) > max_nodes:
+        lines.append(f"... ({len(nodes) - max_nodes} more cards)")
+    legend = "# compute   > send   . recv/wait"
+    header = f"0 {'-' * (width - 12)} {makespan:.4g}s"
+    return "\n".join([header] + lines + [legend])
+
+
+def trace_summary(trace):
+    """Aggregate busy seconds per (kind, tag)."""
+    totals = {}
+    for ev in trace:
+        key = (ev.kind, ev.tag)
+        totals[key] = totals.get(key, 0.0) + ev.duration
+    return totals

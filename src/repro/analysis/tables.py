@@ -1,0 +1,32 @@
+"""Plain-text table rendering for the benchmark harnesses."""
+
+from __future__ import annotations
+
+__all__ = ["format_table"]
+
+
+def format_table(headers, rows, title=None, float_fmt="{:.2f}"):
+    """Render an aligned plain-text table.
+
+    ``rows`` is a list of sequences; floats are formatted with
+    ``float_fmt``, everything else with ``str``.
+    """
+    rendered = []
+    for row in rows:
+        rendered.append([
+            float_fmt.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ])
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""FAB baseline deployments ([18])."""
+
+from __future__ import annotations
+
+from repro.hw.cluster import fab_cluster
+from repro.sched.planner import Planner
+
+__all__ = ["FAB_S", "FAB_M", "FAB_L", "fab_planner"]
+
+#: Single-card FAB (paper Table II "FAB-S").
+FAB_S = fab_cluster(1, name="FAB-S")
+
+#: FAB's published 8-card architecture (paper Table II "FAB-M").
+FAB_M = fab_cluster(8, name="FAB-M")
+
+#: 64-card extrapolation of FAB's architecture (paper Fig. 8 "FAB-L").
+FAB_L = fab_cluster(64, name="FAB-L")
+
+
+def fab_planner(cards=1, **planner_kwargs):
+    """A planner for a FAB deployment with ``cards`` FPGAs.
+
+    Multi-card FAB runs Hydra's task decomposition and mapping (the paper
+    applies it to FAB-M/FAB-L for a fair comparison); the difference is
+    purely architectural — card memory system and host-mediated fabric.
+    """
+    return Planner(fab_cluster(cards), **planner_kwargs)

@@ -1,0 +1,91 @@
+"""Polynomial approximations of DL non-linearities.
+
+Non-linear layers under FHE evaluate polynomials fitted with Chebyshev
+interpolation (paper Section III-A: "approximated using the Taylor
+expansion or the Chebyshev algorithm").  This module produces monomial
+coefficient vectors ready for
+:func:`repro.ckks.polyeval.evaluate_polynomial`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from numpy.polynomial import chebyshev
+
+__all__ = [
+    "chebyshev_fit",
+    "relu_coefficients",
+    "gelu_coefficients",
+    "sigmoid_coefficients",
+    "exp_coefficients",
+    "inverse_sqrt_coefficients",
+]
+
+
+def chebyshev_fit(fn, degree, interval=(-1.0, 1.0)):
+    """Fit ``fn`` on ``interval`` with a degree-``degree`` Chebyshev
+    interpolant and return monomial coefficients (low to high).
+
+    Monomial conversion is numerically safe for the moderate degrees
+    (<= ~16) used by FHE activation layers; bootstrapping-scale
+    evaluations stay in the Chebyshev basis (see repro.ckks.bootstrap).
+    """
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    lo, hi = interval
+    if not lo < hi:
+        raise ValueError(f"invalid interval {interval}")
+    nodes = np.cos(np.pi * (np.arange(degree + 1) + 0.5) / (degree + 1))
+    x = 0.5 * (hi - lo) * nodes + 0.5 * (hi + lo)
+    cheb = chebyshev.chebfit(nodes, np.vectorize(fn)(x), degree)
+    mono_unit = chebyshev.cheb2poly(cheb)
+    # Re-expand from the unit interval to [lo, hi]:
+    # t = (2x - (hi+lo)) / (hi-lo).
+    scale = 2.0 / (hi - lo)
+    shift = -(hi + lo) / (hi - lo)
+    out = np.zeros(degree + 1)
+    basis = np.array([1.0])  # t**0 in x-monomials
+    for k, c in enumerate(mono_unit):
+        out[: len(basis)] += c * basis
+        basis = np.convolve(basis, [shift, scale])
+    return out
+
+
+def relu_coefficients(degree=9, bound=1.0):
+    """Smooth ReLU surrogate ``x * sigmoid(k x)`` on ``[-bound, bound]``."""
+    k = 6.0 / bound
+
+    def smooth_relu(x):
+        return x / (1.0 + math.exp(-k * x))
+
+    return chebyshev_fit(smooth_relu, degree, (-bound, bound))
+
+
+def gelu_coefficients(degree=9, bound=3.0):
+    """GeLU on ``[-bound, bound]`` (the LLM activation, paper III-A)."""
+
+    def gelu(x):
+        return 0.5 * x * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+    return chebyshev_fit(gelu, degree, (-bound, bound))
+
+
+def sigmoid_coefficients(degree=9, bound=6.0):
+    """Logistic sigmoid on ``[-bound, bound]``."""
+    return chebyshev_fit(lambda x: 1.0 / (1.0 + math.exp(-x)), degree,
+                         (-bound, bound))
+
+
+def exp_coefficients(degree=7, bound=1.0):
+    """exp on ``[-bound, bound]`` (the Softmax numerator)."""
+    return chebyshev_fit(math.exp, degree, (-bound, bound))
+
+
+def inverse_sqrt_coefficients(degree=7, interval=(0.2, 2.0)):
+    """1/sqrt(x) on a positive interval (LayerNorm's denominator)."""
+    lo, hi = interval
+    if lo <= 0:
+        raise ValueError("inverse sqrt needs a positive interval")
+    return chebyshev_fit(lambda x: 1.0 / math.sqrt(x), degree, interval)

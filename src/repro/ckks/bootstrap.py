@@ -1,0 +1,262 @@
+"""CKKS bootstrapping: ModRaise → CoeffToSlot → EvalExp/DAF → SlotToCoeff.
+
+This follows the structure of paper Section III-B / Fig. 3(b):
+
+1. **ModRaise** lifts a level-0 ciphertext back to the full moduli chain;
+   the plaintext becomes ``m + q0 * I`` for a small integer vector ``I``
+   bounded by the secret's Hamming weight.
+2. **CoeffToSlot (C2S)** moves polynomial coefficients into slots by
+   homomorphically applying the inverse canonical embedding — here a pair
+   of dense :class:`~repro.ckks.linear.LinearTransform` passes (the costed
+   scheduler decomposes this into the paper's multi-level radix DFT; the
+   single dense matrix computes the same map with the same semantics).
+3. **EvalExp** approximates ``exp(2*pi*i*t / 2**r)`` with a short Taylor
+   series, and the **Double-Angle Formula (DAF)** squares the result ``r``
+   times — exactly the EvaExp + DAF split of Fig. 3(b).  Taking the
+   imaginary part yields ``sin(2*pi*t)``, which kills the ``q0 * I`` term.
+4. **SlotToCoeff (S2C)** re-embeds slots as coefficients; the final
+   correction constant ``q0 / (2*pi*Delta)`` is folded into its matrices.
+
+The result is a ciphertext at a *higher* level encrypting (approximately)
+the same message, ready for further multiplications.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.linear import LinearTransform
+from repro.ckks.polyeval import evaluate_polynomial
+from repro.poly import RnsPoly
+
+__all__ = ["Bootstrapper", "BootstrapKeys"]
+
+
+@dataclass(frozen=True)
+class BootstrapKeys:
+    """Key material needed by :meth:`Bootstrapper.bootstrap`."""
+
+    relin_key: object
+    galois_keys: object
+
+
+class Bootstrapper:
+    """Precomputed bootstrapping pipeline for one context.
+
+    Parameters
+    ----------
+    context:
+        The :class:`~repro.ckks.CkksContext`.  Its parameter set must use a
+        sparse secret (``secret_hamming_weight``) so the modular overflow
+        ``I`` stays within the sine approximation range.
+    evaluator:
+        The evaluator used for all homomorphic steps.
+    taylor_degree:
+        Degree of the Taylor expansion of ``exp`` (paper uses an overall
+        polynomial degree of 59; a short series plus doublings is the same
+        EvaExp/DAF structure at toy scale).
+    daf_iterations:
+        Number of double-angle squarings ``r``; the Taylor argument is
+        ``2*pi*t / 2**r``.
+    """
+
+    def __init__(self, context, evaluator, taylor_degree=7, daf_iterations=6):
+        params = context.params
+        if params.secret_hamming_weight is None:
+            raise ValueError(
+                "bootstrapping requires a sparse secret "
+                "(set secret_hamming_weight in CkksParameters)"
+            )
+        self.context = context
+        self.evaluator = evaluator
+        self.taylor_degree = int(taylor_degree)
+        self.daf_iterations = int(daf_iterations)
+        self.q0 = context.rns.moduli[context.rns.data_indices[0]]
+        self._build_transforms()
+
+    # ------------------------------------------------------------------
+    # Precomputation
+    # ------------------------------------------------------------------
+
+    def _build_transforms(self):
+        ctx = self.context
+        n = ctx.params.slot_count
+        big_n = ctx.params.poly_degree
+        u = ctx.encoder.embedding_matrix()  # slots = U @ coeffs
+        u_h = np.conj(u.T)
+        u_t = u.T
+        # CoeffToSlot: want w_j = (u_j + i*u_{j+n}) / q0 given slots z = U@u:
+        #   coeffs = (1/N) (U^H z + U^T conj(z))
+        #   w = M1 z + M2 conj(z)
+        m1 = (u_h[:n, :] + 1j * u_h[n:, :]) / big_n
+        m2 = (u_t[:n, :] + 1j * u_t[n:, :]) / big_n
+        # SlotToCoeff: z = U[:, :n] re + U[:, n:] im with re = (w+cj)/2,
+        # im = (w-cj)/(2i)  =>  z = M3 w + M4 conj(w).
+        u_left = u[:, :n]
+        u_right = u[:, n:]
+        m3 = 0.5 * (u_left - 1j * u_right)
+        m4 = 0.5 * (u_left + 1j * u_right)
+        # Fold the sine-inversion constant q0 / (2*pi*Delta) into S2C.
+        correction = self.q0 / (2.0 * math.pi * ctx.params.scale)
+        m3 = m3 * correction
+        m4 = m4 * correction
+        scale = ctx.params.scale
+        # With the (u_low + i*u_high) packing, U[:, n:] == i * U[:, :n] for
+        # the 5**j slot orbit, so the conjugate-side matrices vanish
+        # identically and both transforms are complex-linear.
+        self._c2s_direct = self._maybe_transform(m1, scale)
+        self._c2s_conj = self._maybe_transform(m2, scale)
+        self._s2c_direct = self._maybe_transform(m3, scale)
+        self._s2c_conj = self._maybe_transform(m4, scale)
+        if self._c2s_direct is None and self._c2s_conj is None:
+            raise RuntimeError("C2S transform is identically zero")
+        if self._s2c_direct is None and self._s2c_conj is None:
+            raise RuntimeError("S2C transform is identically zero")
+
+    def _maybe_transform(self, matrix, scale):
+        if np.max(np.abs(matrix)) < 1e-12:
+            return None
+        return LinearTransform(self.context, matrix, plaintext_scale=scale)
+
+    def required_galois_elements(self):
+        """All Galois elements the bootstrap needs keys for."""
+        steps = set()
+        for lt in (self._c2s_direct, self._c2s_conj,
+                   self._s2c_direct, self._s2c_conj):
+            if lt is not None:
+                steps.update(lt.required_rotation_steps())
+        elements = {self.context.galois_element_for_step(s) for s in steps}
+        elements.add(self.context.conjugation_element)
+        return sorted(elements)
+
+    def minimum_levels(self):
+        """Levels consumed by one bootstrap invocation."""
+        # Binary power-tree depth for x**taylor_degree, plus one level for
+        # the coefficient combination inside evaluate_polynomial.
+        taylor_levels = max(1, int(np.ceil(np.log2(self.taylor_degree)))) + 1
+        # C2S + split + argument scaling + Taylor + DAF + sine extraction
+        # + recombination + S2C.
+        return 1 + 1 + 1 + taylor_levels + self.daf_iterations + 1 + 1 + 1
+
+    # ------------------------------------------------------------------
+    # Pipeline stages (public so tests can exercise them independently)
+    # ------------------------------------------------------------------
+
+    def mod_raise(self, ct: Ciphertext) -> Ciphertext:
+        """Lift a low-level ciphertext to the full chain.
+
+        The plaintext becomes ``m + q0*I``; the returned ciphertext's scale
+        is *declared* to be ``q0`` so downstream slot values are ``u/q0``.
+        """
+        ctx = self.context
+        if ct.level != 0:
+            ct = self.evaluator.drop_to_level(ct, 0)
+        full = ctx.rns.data_indices
+        raised = []
+        for poly in (ct.c0, ct.c1):
+            coeffs = poly.to_int_coeffs(centered=True)
+            raised.append(RnsPoly.from_int_coeffs(ctx.rns, list(coeffs), full))
+        return Ciphertext(c0=raised[0], c1=raised[1], scale=float(self.q0))
+
+    def coeff_to_slot(self, ct: Ciphertext, keys: BootstrapKeys):
+        """Return a ciphertext whose slots hold ``(u_j + i*u_{j+n}) / q0``."""
+        ev = self.evaluator
+        w = self._apply_pair(
+            ct, self._c2s_direct, self._c2s_conj, keys
+        )
+        return ev.rescale(w)
+
+    def split_real_imag(self, ct: Ciphertext, keys: BootstrapKeys):
+        """Split complex-packed slots into two real-valued ciphertexts.
+
+        The 0.5 constants are encoded at the scale that re-normalizes the
+        ciphertext to the canonical scale after rescaling — the ModRaise
+        step declared the scale to be ``q0``, and letting that deviation
+        survive into the DAF squarings would blow the scale up
+        exponentially.
+        """
+        ev = self.evaluator
+        ctx = self.context
+        target = ctx.params.scale
+        q_drop = ctx.rns.moduli[ct.basis[-1]]
+        const_scale = target * q_drop / ct.scale
+        conj = ev.conjugate(ct, keys.galois_keys)
+        re = ev.rescale(
+            ev.multiply_const(ev.add(ct, conj), 0.5, scale=const_scale)
+        )
+        im = ev.rescale(
+            ev.multiply_const(ev.sub(ct, conj), -0.5j, scale=const_scale)
+        )
+        return re, im
+
+    def eval_exp_sin(self, ct: Ciphertext, keys: BootstrapKeys) -> Ciphertext:
+        """Evaluate ``sin(2*pi*t)`` on real slot values ``t = I + m/q0``.
+
+        EvalExp: Taylor of ``exp(i*theta)`` at ``theta = 2*pi*t / 2**r``,
+        then ``r`` double-angle squarings, then ``Im(.)`` by conjugation.
+        """
+        ev = self.evaluator
+        r = self.daf_iterations
+        theta = ev.rescale(
+            ev.multiply_const(ct, 2.0 * math.pi / (2.0 ** r))
+        )
+        coeffs = [1j ** k / math.factorial(k)
+                  for k in range(self.taylor_degree + 1)]
+        exp_ct = evaluate_polynomial(theta, coeffs, ev, keys.relin_key)
+        for _ in range(r):
+            exp_ct = ev.rescale(ev.square(exp_ct, keys.relin_key))
+        conj = ev.conjugate(exp_ct, keys.galois_keys)
+        return ev.rescale(ev.multiply_const(ev.sub(exp_ct, conj), -0.5j))
+
+    def slot_to_coeff(self, ct: Ciphertext, keys: BootstrapKeys) -> Ciphertext:
+        """Map complex-packed slots back to polynomial coefficients."""
+        ev = self.evaluator
+        z = self._apply_pair(
+            ct, self._s2c_direct, self._s2c_conj, keys
+        )
+        return ev.rescale(z)
+
+    def _apply_pair(self, ct, direct, conj_side, keys):
+        """Apply ``direct(ct) + conj_side(conjugate(ct))``, skipping zeros."""
+        ev = self.evaluator
+        parts = []
+        if direct is not None:
+            parts.append(direct.apply(ct, ev, keys.galois_keys))
+        if conj_side is not None:
+            conj = ev.conjugate(ct, keys.galois_keys)
+            parts.append(conj_side.apply(conj, ev, keys.galois_keys))
+        result = parts[0]
+        for p in parts[1:]:
+            result = ev.add(result, p)
+        return result
+
+    # ------------------------------------------------------------------
+    # Full pipeline
+    # ------------------------------------------------------------------
+
+    def bootstrap(self, ct: Ciphertext, keys: BootstrapKeys) -> Ciphertext:
+        """Refresh ``ct`` to a higher level, approximately preserving slots."""
+        ev = self.evaluator
+        raised = self.mod_raise(ct)
+        packed = self.coeff_to_slot(raised, keys)
+        re, im = self.split_real_imag(packed, keys)
+        sin_re = self.eval_exp_sin(re, keys)
+        sin_im = self.eval_exp_sin(im, keys)
+        im_scaled = ev.multiply_const(sin_im, 1j, scale=ev.context.params.scale)
+        re_scaled = ev.multiply_const(sin_re, 1.0, scale=ev.context.params.scale)
+        recombined = ev.rescale(ev.add(re_scaled, im_scaled))
+        refreshed = self.slot_to_coeff(recombined, keys)
+        if refreshed.level <= ct.level:
+            raise RuntimeError(
+                f"bootstrap did not gain levels: {ct.level} -> "
+                f"{refreshed.level}; increase num_scale_moduli"
+            )
+        # Re-anchor the bookkeeping scale to the canonical scale: the slot
+        # values are already the refreshed message.
+        return Ciphertext(
+            c0=refreshed.c0, c1=refreshed.c1, scale=refreshed.scale
+        )

@@ -1,0 +1,61 @@
+"""Plaintext and ciphertext value objects.
+
+Both carry their RNS ``basis`` (the active moduli indices) and the encoding
+``scale``; the evaluator checks and updates these on every operation, the
+same bookkeeping Hydra's host-side scheduling software performs when it
+plans level consumption across a model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.poly import RnsPoly
+
+__all__ = ["Plaintext", "Ciphertext"]
+
+
+@dataclass(frozen=True)
+class Plaintext:
+    """An encoded (but not encrypted) polynomial with scale metadata."""
+
+    poly: RnsPoly
+    scale: float
+
+    @property
+    def basis(self):
+        return self.poly.basis
+
+    @property
+    def level(self):
+        """Level = remaining rescale operations (limbs above ``q_0``)."""
+        return len(self.poly.basis) - 1
+
+
+@dataclass(frozen=True)
+class Ciphertext:
+    """An RLWE ciphertext ``(c0, c1)`` with ``c0 + c1*s ≈ m``."""
+
+    c0: RnsPoly
+    c1: RnsPoly
+    scale: float
+
+    def __post_init__(self):
+        if self.c0.basis != self.c1.basis:
+            raise ValueError(
+                f"ciphertext components disagree on basis: "
+                f"{self.c0.basis} vs {self.c1.basis}"
+            )
+
+    @property
+    def basis(self):
+        return self.c0.basis
+
+    @property
+    def level(self):
+        """Level = remaining rescale operations (limbs above ``q_0``)."""
+        return len(self.c0.basis) - 1
+
+    @property
+    def context(self):
+        return self.c0.context

@@ -1,0 +1,112 @@
+"""CKKS encoder: the canonical embedding between complex slots and
+integer polynomial coefficients.
+
+Slot ``j`` of a polynomial ``p`` is its evaluation at the primitive
+``2N``-th root of unity ``zeta**(5**j mod 2N)``; the ``5**j`` orbit makes
+slot rotation exactly the Galois automorphism ``X -> X**(5**k)``.  Both
+directions are computed with a length-``N`` FFT plus a twist and an index
+permutation, so encoding scales to any ring dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.poly import RnsPoly
+
+__all__ = ["CkksEncoder"]
+
+
+class CkksEncoder:
+    """Encode complex vectors into scaled integer polynomials and back."""
+
+    def __init__(self, poly_degree):
+        n = int(poly_degree)
+        if n < 8 or n & (n - 1):
+            raise ValueError(f"poly_degree must be a power of two >= 8, got {n}")
+        self.poly_degree = n
+        self.slot_count = n // 2
+        # Slot j evaluates at exponent m_j = 5**j mod 2N; the twist maps the
+        # negacyclic evaluation grid onto the standard DFT grid.
+        m = np.empty(self.slot_count, dtype=np.int64)
+        acc = 1
+        for j in range(self.slot_count):
+            m[j] = acc
+            acc = acc * 5 % (2 * n)
+        self._slot_to_freq = ((m - 1) // 2) % n
+        k = np.arange(n)
+        self._twist = np.exp(1j * np.pi * k / n)
+
+    # ------------------------------------------------------------------
+    # Real-coefficient <-> slot transforms (the mathematical core)
+    # ------------------------------------------------------------------
+
+    def coeffs_to_slots(self, coeffs):
+        """Evaluate real coefficients at the slot roots (decode direction)."""
+        c = np.asarray(coeffs, dtype=np.float64)
+        if c.shape != (self.poly_degree,):
+            raise ValueError(
+                f"expected {self.poly_degree} coefficients, got {c.shape}"
+            )
+        twisted = c * self._twist
+        spectrum = np.fft.ifft(twisted) * self.poly_degree
+        return spectrum[self._slot_to_freq]
+
+    def slots_to_coeffs(self, slots):
+        """Return the unique real coefficient vector with the given slots."""
+        z = np.asarray(slots, dtype=np.complex128)
+        if z.shape != (self.slot_count,):
+            raise ValueError(
+                f"expected {self.slot_count} slots, got {z.shape}"
+            )
+        grid = np.zeros(self.poly_degree, dtype=np.complex128)
+        grid[self._slot_to_freq] = z
+        spectrum = np.fft.fft(grid)
+        return (2.0 / self.poly_degree) * np.real(
+            np.conj(self._twist) * spectrum
+        )
+
+    # ------------------------------------------------------------------
+    # Scaled integer encode/decode
+    # ------------------------------------------------------------------
+
+    def encode(self, values, scale, context, basis):
+        """Encode ``values`` (scalar or length-``slot_count`` vector) into an
+        :class:`RnsPoly` at the given ``scale`` and RNS ``basis``."""
+        z = self._broadcast(values)
+        coeffs = self.slots_to_coeffs(z) * float(scale)
+        rounded = [int(c) for c in np.rint(coeffs)]
+        return RnsPoly.from_int_coeffs(context, rounded, basis)
+
+    def decode(self, poly, scale):
+        """Decode an :class:`RnsPoly` back to a complex slot vector."""
+        coeffs = poly.to_int_coeffs(centered=True).astype(np.float64)
+        return self.coeffs_to_slots(coeffs) / float(scale)
+
+    def _broadcast(self, values):
+        if np.isscalar(values):
+            return np.full(self.slot_count, complex(values), dtype=np.complex128)
+        z = np.asarray(values, dtype=np.complex128)
+        if z.ndim != 1 or z.shape[0] > self.slot_count:
+            raise ValueError(
+                f"values must be a vector of at most {self.slot_count} slots"
+            )
+        if z.shape[0] < self.slot_count:
+            padded = np.zeros(self.slot_count, dtype=np.complex128)
+            padded[: z.shape[0]] = z
+            return padded
+        return z
+
+    # ------------------------------------------------------------------
+    # Embedding matrices (used to build bootstrapping linear transforms)
+    # ------------------------------------------------------------------
+
+    def embedding_matrix(self):
+        """Return ``U`` with ``U[j, k] = zeta**(m_j * k)`` (slots = U @ coeffs).
+
+        Only intended for small ``N`` (bootstrapping matrix generation).
+        """
+        n = self.poly_degree
+        m = (2 * self._slot_to_freq + 1) % (2 * n)
+        k = np.arange(n)
+        return np.exp(1j * np.pi * np.outer(m, k) / n)

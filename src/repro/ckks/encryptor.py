@@ -1,0 +1,63 @@
+"""Encryption and decryption."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks.ciphertext import Ciphertext, Plaintext
+from repro.poly import RnsPoly
+
+__all__ = ["Encryptor", "Decryptor"]
+
+
+class Encryptor:
+    """Public-key RLWE encryption of encoded plaintexts."""
+
+    def __init__(self, context, public_key, seed=None):
+        self.context = context
+        self.public_key = public_key
+        self._rng = np.random.default_rng(seed)
+
+    def encrypt(self, plaintext: Plaintext) -> Ciphertext:
+        """Encrypt an encoded plaintext at its own basis and scale."""
+        rns = self.context.rns
+        basis = plaintext.basis
+        stddev = self.context.params.error_stddev
+        u = RnsPoly.random_ternary(rns, basis, self._rng)
+        e0 = RnsPoly.random_error(rns, basis, self._rng, stddev)
+        e1 = RnsPoly.random_error(rns, basis, self._rng, stddev)
+        b = self.public_key.b.keep_basis(basis)
+        a = self.public_key.a.keep_basis(basis)
+        c0 = b.multiply(u).add(e0).add(plaintext.poly)
+        c1 = a.multiply(u).add(e1)
+        return Ciphertext(c0=c0, c1=c1, scale=plaintext.scale)
+
+    def encrypt_values(self, values, scale=None, level=None) -> Ciphertext:
+        """Encode ``values`` and encrypt in one step."""
+        ctx = self.context
+        if scale is None:
+            scale = ctx.params.scale
+        if level is None:
+            level = ctx.max_level
+        basis = ctx.basis_at_level(level)
+        poly = ctx.encoder.encode(values, scale, ctx.rns, basis)
+        return self.encrypt(Plaintext(poly=poly, scale=scale))
+
+
+class Decryptor:
+    """Secret-key decryption and decoding."""
+
+    def __init__(self, context, secret_key):
+        self.context = context
+        self.secret_key = secret_key
+
+    def decrypt(self, ciphertext: Ciphertext) -> Plaintext:
+        """Return the noisy plaintext polynomial ``c0 + c1*s``."""
+        s = self.secret_key.poly.keep_basis(ciphertext.basis)
+        poly = ciphertext.c0.add(ciphertext.c1.multiply(s))
+        return Plaintext(poly=poly, scale=ciphertext.scale)
+
+    def decrypt_values(self, ciphertext: Ciphertext):
+        """Decrypt and decode to a complex slot vector."""
+        pt = self.decrypt(ciphertext)
+        return self.context.encoder.decode(pt.poly, pt.scale)

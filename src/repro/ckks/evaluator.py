@@ -1,0 +1,240 @@
+"""The CKKS evaluator: homomorphic arithmetic, keyswitching, rotations.
+
+Every method returns new :class:`~repro.ckks.ciphertext.Ciphertext` objects
+and validates scale/basis compatibility, mirroring the bookkeeping Hydra's
+host scheduler performs before emitting task instructions.  The operation
+vocabulary (HAdd, PMult, CMult, Rescale, Keyswitch, Rotation) is exactly
+the one the paper's Table I counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks.ciphertext import Ciphertext, Plaintext
+from repro.poly import RnsPoly
+
+__all__ = ["Evaluator"]
+
+_SCALE_RTOL = 1e-6
+
+
+class Evaluator:
+    """Homomorphic operations over one :class:`~repro.ckks.CkksContext`."""
+
+    def __init__(self, context):
+        self.context = context
+
+    # ------------------------------------------------------------------
+    # Scale / basis plumbing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_scales(a, b):
+        if abs(a - b) > _SCALE_RTOL * max(a, b):
+            raise ValueError(f"scale mismatch: {a} vs {b}")
+
+    def _align(self, ct_a: Ciphertext, ct_b: Ciphertext):
+        """Drop the higher-level ciphertext to the lower one's basis."""
+        if len(ct_a.basis) > len(ct_b.basis):
+            ct_a = self.drop_to_basis(ct_a, ct_b.basis)
+        elif len(ct_b.basis) > len(ct_a.basis):
+            ct_b = self.drop_to_basis(ct_b, ct_a.basis)
+        if ct_a.basis != ct_b.basis:
+            raise ValueError(
+                f"incompatible bases {ct_a.basis} and {ct_b.basis}"
+            )
+        return ct_a, ct_b
+
+    def drop_to_basis(self, ct: Ciphertext, basis) -> Ciphertext:
+        """Mod-switch down to a sub-basis (no scale change)."""
+        basis = tuple(basis)
+        if not set(basis).issubset(ct.basis):
+            raise ValueError(f"{basis} is not a sub-basis of {ct.basis}")
+        return Ciphertext(
+            c0=ct.c0.keep_basis(basis),
+            c1=ct.c1.keep_basis(basis),
+            scale=ct.scale,
+        )
+
+    def drop_to_level(self, ct: Ciphertext, level) -> Ciphertext:
+        return self.drop_to_basis(ct, self.context.basis_at_level(level))
+
+    # ------------------------------------------------------------------
+    # Additive operations
+    # ------------------------------------------------------------------
+
+    def add(self, ct_a: Ciphertext, ct_b: Ciphertext) -> Ciphertext:
+        """Homomorphic addition (paper op: HAdd)."""
+        ct_a, ct_b = self._align(ct_a, ct_b)
+        self._check_scales(ct_a.scale, ct_b.scale)
+        return Ciphertext(
+            c0=ct_a.c0.add(ct_b.c0),
+            c1=ct_a.c1.add(ct_b.c1),
+            scale=max(ct_a.scale, ct_b.scale),
+        )
+
+    def sub(self, ct_a: Ciphertext, ct_b: Ciphertext) -> Ciphertext:
+        ct_a, ct_b = self._align(ct_a, ct_b)
+        self._check_scales(ct_a.scale, ct_b.scale)
+        return Ciphertext(
+            c0=ct_a.c0.sub(ct_b.c0),
+            c1=ct_a.c1.sub(ct_b.c1),
+            scale=max(ct_a.scale, ct_b.scale),
+        )
+
+    def negate(self, ct: Ciphertext) -> Ciphertext:
+        return Ciphertext(c0=ct.c0.negate(), c1=ct.c1.negate(), scale=ct.scale)
+
+    def add_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        """Add an encoded plaintext (scales must match)."""
+        self._check_scales(ct.scale, pt.scale)
+        poly = pt.poly
+        if poly.basis != ct.basis:
+            poly = poly.keep_basis(ct.basis)
+        return Ciphertext(c0=ct.c0.add(poly), c1=ct.c1, scale=ct.scale)
+
+    def add_const(self, ct: Ciphertext, value) -> Ciphertext:
+        """Add a scalar constant to every slot."""
+        pt = self._encode_at(value, ct.scale, ct.basis)
+        return self.add_plain(ct, pt)
+
+    # ------------------------------------------------------------------
+    # Multiplicative operations
+    # ------------------------------------------------------------------
+
+    def multiply_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        """Plaintext-ciphertext multiplication (paper op: PMult)."""
+        poly = pt.poly
+        if poly.basis != ct.basis:
+            poly = poly.keep_basis(ct.basis)
+        return Ciphertext(
+            c0=ct.c0.multiply(poly),
+            c1=ct.c1.multiply(poly),
+            scale=ct.scale * pt.scale,
+        )
+
+    def multiply_const(self, ct: Ciphertext, value, scale=None) -> Ciphertext:
+        """Multiply every slot by a scalar constant (PMult by a constant)."""
+        if scale is None:
+            scale = self.context.params.scale
+        pt = self._encode_at(value, scale, ct.basis)
+        return self.multiply_plain(ct, pt)
+
+    def multiply(self, ct_a, ct_b, relin_key) -> Ciphertext:
+        """Ciphertext-ciphertext multiplication with relinearization (CMult)."""
+        ct_a, ct_b = self._align(ct_a, ct_b)
+        d0 = ct_a.c0.multiply(ct_b.c0)
+        d1 = ct_a.c0.multiply(ct_b.c1).add(ct_a.c1.multiply(ct_b.c0))
+        d2 = ct_a.c1.multiply(ct_b.c1)
+        p0, p1 = self._key_switch(d2, relin_key)
+        return Ciphertext(
+            c0=d0.add(p0),
+            c1=d1.add(p1),
+            scale=ct_a.scale * ct_b.scale,
+        )
+
+    def square(self, ct, relin_key) -> Ciphertext:
+        """Homomorphic squaring (a CMult with shared operand)."""
+        return self.multiply(ct, ct, relin_key)
+
+    def rescale(self, ct: Ciphertext) -> Ciphertext:
+        """Divide by the last modulus, dropping one level (Rescale)."""
+        q_last = self.context.rns.moduli[ct.basis[-1]]
+        return Ciphertext(
+            c0=ct.c0.rescale_by_last(),
+            c1=ct.c1.rescale_by_last(),
+            scale=ct.scale / q_last,
+        )
+
+    def multiply_and_rescale(self, ct_a, ct_b, relin_key) -> Ciphertext:
+        return self.rescale(self.multiply(ct_a, ct_b, relin_key))
+
+    # ------------------------------------------------------------------
+    # Rotations
+    # ------------------------------------------------------------------
+
+    def rotate(self, ct: Ciphertext, steps, galois_keys) -> Ciphertext:
+        """Rotate slots left by ``steps`` (paper op: Rotation).
+
+        Rotation = automorphism (index wiring in hardware) + keyswitch.
+        """
+        if steps % self.context.params.slot_count == 0:
+            return ct
+        g = self.context.galois_element_for_step(steps)
+        return self.apply_galois(ct, g, galois_keys.key_for(g))
+
+    def conjugate(self, ct: Ciphertext, galois_keys) -> Ciphertext:
+        """Complex-conjugate every slot."""
+        g = self.context.conjugation_element
+        return self.apply_galois(ct, g, galois_keys.key_for(g))
+
+    def apply_galois(self, ct: Ciphertext, galois_element, switch_key):
+        """Apply ``X -> X**g`` and switch back to the canonical secret."""
+        tc0 = ct.c0.automorphism(galois_element)
+        tc1 = ct.c1.automorphism(galois_element)
+        p0, p1 = self._key_switch(tc1, switch_key)
+        return Ciphertext(c0=tc0.add(p0), c1=p1, scale=ct.scale)
+
+    # ------------------------------------------------------------------
+    # Keyswitching core
+    # ------------------------------------------------------------------
+
+    def _key_switch(self, d: RnsPoly, switch_key):
+        """Switch polynomial ``d`` (multiplying some ``s'``) to secret ``s``.
+
+        Per-limb digit decomposition: limb ``i`` of ``d`` is base-extended
+        to the ``Q_l ∪ P`` basis, multiplied into switching-key pair ``i``,
+        accumulated, and the sum is divided by ``P`` (mod-down).
+        """
+        rns = self.context.rns
+        data_basis = d.basis
+        special = rns.special_indices
+        ext_basis = data_basis + special
+        acc0 = RnsPoly.zeros(rns, ext_basis)
+        acc1 = RnsPoly.zeros(rns, ext_basis)
+        for row, idx in enumerate(data_basis):
+            if idx >= len(switch_key.pairs):
+                raise ValueError(
+                    f"switch key has {len(switch_key.pairs)} limb pairs, "
+                    f"needs index {idx}"
+                )
+            d_i = self._extend_single_limb(d, row, idx, ext_basis)
+            k0, k1 = switch_key.pairs[idx]
+            acc0 = acc0.add(d_i.multiply(k0.keep_basis(ext_basis)))
+            acc1 = acc1.add(d_i.multiply(k1.keep_basis(ext_basis)))
+        return acc0.mod_down_by(special), acc1.mod_down_by(special)
+
+    def _extend_single_limb(self, d, row, idx, ext_basis):
+        """Spread limb ``row`` of ``d`` across ``ext_basis`` (digit mod-up)."""
+        rns = self.context.rns
+        single = d.data[row : row + 1]
+        out = np.empty((len(ext_basis), rns.poly_degree), dtype=np.uint64)
+        others = [j for j in ext_basis if j != idx]
+        converted = rns.base_convert(single, (idx,), others)
+        pos = 0
+        for slot, j in enumerate(ext_basis):
+            if j == idx:
+                out[slot] = single[0]
+            else:
+                out[slot] = converted[pos]
+                pos += 1
+        return RnsPoly(rns, out, ext_basis)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _encode_at(self, values, scale, basis) -> Plaintext:
+        ctx = self.context
+        poly = ctx.encoder.encode(values, scale, ctx.rns, basis)
+        return Plaintext(poly=poly, scale=scale)
+
+    def encode(self, values, scale=None, level=None) -> Plaintext:
+        """Encode values at a given scale and level (defaults: params)."""
+        ctx = self.context
+        if scale is None:
+            scale = ctx.params.scale
+        if level is None:
+            level = ctx.max_level
+        return self._encode_at(values, scale, ctx.basis_at_level(level))

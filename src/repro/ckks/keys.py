@@ -1,0 +1,143 @@
+"""Key material and key generation.
+
+Keyswitching keys use per-limb RNS digit decomposition with a special-prime
+extension (``dnum = L + 1`` hybrid keyswitching): one RLWE sample per data
+limb, each hiding ``P * Q_tilde_i * s'`` where ``Q_tilde_i`` is the CRT
+idempotent of limb ``i``.  This is the decomposition FHE accelerators
+implement in hardware — every keyswitch is ``limbs`` NTT-multiply-accumulate
+passes followed by a mod-down by ``P``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.math.modular import mod_inverse
+from repro.poly import RnsPoly
+
+__all__ = [
+    "SecretKey",
+    "PublicKey",
+    "KeySwitchKey",
+    "GaloisKeys",
+    "KeyGenerator",
+]
+
+
+@dataclass(frozen=True)
+class SecretKey:
+    """The ternary secret polynomial ``s`` (held in the full PQ basis)."""
+
+    poly: RnsPoly
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """Encryption key ``(b, a) = (-a*s + e, a)`` over the data basis ``Q``."""
+
+    b: RnsPoly
+    a: RnsPoly
+
+
+@dataclass(frozen=True)
+class KeySwitchKey:
+    """Switching key from some ``s'`` to ``s``.
+
+    ``pairs[i] = (k0_i, k1_i)`` over the full ``PQ`` basis with
+    ``k0_i = -a_i*s + e_i + P * Q_tilde_i * s'`` and ``k1_i = a_i``.
+    """
+
+    pairs: tuple
+
+    def __len__(self):
+        return len(self.pairs)
+
+
+@dataclass(frozen=True)
+class GaloisKeys:
+    """Keyswitch keys per Galois element (rotations and conjugation)."""
+
+    keys: dict
+
+    def key_for(self, galois_element):
+        try:
+            return self.keys[galois_element]
+        except KeyError:
+            raise KeyError(
+                f"no Galois key for element {galois_element}; generate it "
+                f"with KeyGenerator.create_galois_keys"
+            ) from None
+
+
+class KeyGenerator:
+    """Generates all key material for a :class:`~repro.ckks.CkksContext`."""
+
+    def __init__(self, context, seed=None):
+        self.context = context
+        self._rng = np.random.default_rng(seed)
+        rns = context.rns
+        params = context.params
+        full = rns.data_indices + rns.special_indices
+        self.secret_key = SecretKey(
+            RnsPoly.random_ternary(
+                rns, full, self._rng,
+                hamming_weight=params.secret_hamming_weight,
+            )
+        )
+
+    # ------------------------------------------------------------------
+
+    def create_public_key(self):
+        """Sample a fresh RLWE encryption key over the data basis."""
+        rns = self.context.rns
+        basis = rns.data_indices
+        s = self.secret_key.poly.keep_basis(basis)
+        a = RnsPoly.random_uniform(rns, basis, self._rng)
+        e = RnsPoly.random_error(rns, basis, self._rng,
+                                 self.context.params.error_stddev)
+        b = a.multiply(s).negate().add(e)
+        return PublicKey(b=b, a=a)
+
+    def create_relin_key(self):
+        """Keyswitch key from ``s**2`` to ``s`` (relinearization)."""
+        s = self.secret_key.poly
+        s_squared = s.multiply(s)
+        return self._create_switch_key(s_squared)
+
+    def create_galois_keys(self, galois_elements):
+        """Keyswitch keys from ``tau_g(s)`` to ``s`` for each element."""
+        keys = {}
+        s = self.secret_key.poly
+        for g in galois_elements:
+            keys[int(g)] = self._create_switch_key(s.automorphism(g))
+        return GaloisKeys(keys=keys)
+
+    # ------------------------------------------------------------------
+
+    def _create_switch_key(self, source_secret):
+        """Build the per-limb decomposition key hiding ``P*Qt_i*s'``."""
+        rns = self.context.rns
+        full = rns.data_indices + rns.special_indices
+        s = self.secret_key.poly
+        big_p = rns.modulus_product(rns.special_indices)
+        data_moduli = [rns.moduli[i] for i in rns.data_indices]
+        big_q = 1
+        for q in data_moduli:
+            big_q *= q
+        stddev = self.context.params.error_stddev
+        pairs = []
+        for i, q_i in enumerate(data_moduli):
+            qhat = big_q // q_i
+            q_tilde = qhat * mod_inverse(qhat % q_i, q_i)  # CRT idempotent
+            factor = (big_p * q_tilde) % (big_q * big_p)
+            a_i = RnsPoly.random_uniform(rns, full, self._rng)
+            e_i = RnsPoly.random_error(rns, full, self._rng, stddev)
+            k0 = (
+                a_i.multiply(s).negate()
+                .add(e_i)
+                .add(source_secret.multiply_scalar(factor))
+            )
+            pairs.append((k0, a_i))
+        return KeySwitchKey(pairs=tuple(pairs))

@@ -1,0 +1,100 @@
+"""Homomorphic linear transforms (matrix-vector products) with BSGS.
+
+A slot-wise linear map ``out = M @ in`` decomposes into rotated diagonals:
+``out = sum_d diag_d ⊙ rot_d(in)``.  The Baby-Step Giant-Step split (paper
+Section III-B, [34]) reduces the rotation count from ``O(n)`` to
+``O(sqrt(n))`` — baby steps rotate the ciphertext, giant steps rotate
+pre-rotated plaintext diagonals and the partial sums.
+
+This is the computation pattern of the FC layer and of the C2S/S2C DFT
+stages of bootstrapping; the scheduler in :mod:`repro.sched.fc` and
+:mod:`repro.sched.bootstrap` distributes exactly this structure across
+accelerator cards.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.ckks.ciphertext import Ciphertext
+
+__all__ = ["LinearTransform"]
+
+_ZERO_TOL = 1e-12
+
+
+class LinearTransform:
+    """A precomputed homomorphic ``n x n`` complex matrix-vector product."""
+
+    def __init__(self, context, matrix, plaintext_scale=None, baby_steps=None):
+        n = context.params.slot_count
+        m = np.asarray(matrix, dtype=np.complex128)
+        if m.shape != (n, n):
+            raise ValueError(f"matrix must be {n}x{n}, got {m.shape}")
+        self.context = context
+        self.plaintext_scale = (
+            float(plaintext_scale)
+            if plaintext_scale is not None
+            else context.params.scale
+        )
+        self.baby_steps = (
+            int(baby_steps) if baby_steps else max(1, int(math.isqrt(n)))
+        )
+        # Extract the generalized diagonals diag_d[j] = M[j, (j+d) mod n]
+        # and pre-rotate each by its giant step offset.
+        self._diagonals = {}
+        cols = np.arange(n)
+        for d in range(n):
+            diag = m[cols, (cols + d) % n]
+            if np.max(np.abs(diag)) < _ZERO_TOL:
+                continue
+            giant = (d // self.baby_steps) * self.baby_steps
+            self._diagonals[d] = np.roll(diag, giant)
+        self._giant_steps = sorted(
+            {(d // self.baby_steps) * self.baby_steps for d in self._diagonals}
+        )
+
+    # ------------------------------------------------------------------
+
+    def required_rotation_steps(self):
+        """Slot-rotation steps whose Galois keys must exist before apply()."""
+        n = self.context.params.slot_count
+        babies = {d % self.baby_steps for d in self._diagonals}
+        steps = {b for b in babies if b % n != 0}
+        steps.update(g for g in self._giant_steps if g % n != 0)
+        return sorted(steps)
+
+    def apply(self, ct: Ciphertext, evaluator, galois_keys) -> Ciphertext:
+        """Return the encrypted product ``M @ slots(ct)``.
+
+        Output scale is ``ct.scale * plaintext_scale``; callers rescale.
+        """
+        ctx = self.context
+        rotated = {0: ct}
+        for d in self._diagonals:
+            b = d % self.baby_steps
+            if b not in rotated:
+                rotated[b] = evaluator.rotate(ct, b, galois_keys)
+        result = None
+        for giant in self._giant_steps:
+            inner = None
+            for d, diag in self._diagonals.items():
+                if (d // self.baby_steps) * self.baby_steps != giant:
+                    continue
+                pt = evaluator._encode_at(
+                    diag, self.plaintext_scale, ct.basis
+                )
+                term = evaluator.multiply_plain(rotated[d % self.baby_steps], pt)
+                inner = term if inner is None else evaluator.add(inner, term)
+            if giant % ctx.params.slot_count != 0:
+                inner = evaluator.rotate(inner, giant, galois_keys)
+            result = inner if result is None else evaluator.add(result, inner)
+        if result is None:
+            raise ValueError("linear transform matrix is identically zero")
+        return result
+
+    @property
+    def diagonal_count(self):
+        return len(self._diagonals)

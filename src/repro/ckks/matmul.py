@@ -1,0 +1,116 @@
+"""Functional PCMM / CCMM building blocks on the CKKS substrate.
+
+Paper Section III-A describes the transformer kernels of [13]:
+
+* **PCMM** (plaintext-ciphertext matrix multiplication): encrypted
+  activations against plaintext weights — slot-wise this is the BSGS
+  :class:`~repro.ckks.linear.LinearTransform`; this module adds the
+  rectangular packing around it.
+* **CCMM** (ciphertext-ciphertext matrix multiplication): both operands
+  encrypted; built from slot products plus rotate-and-sum reductions —
+  each reduction is the Table-I CCMM unit's "multiple rotations".
+
+These run the real cryptography at toy sizes; the performance model costs
+the same structure at paper scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks.linear import LinearTransform
+
+__all__ = ["sum_slots", "ciphertext_dot", "PlainMatrixProduct",
+           "ciphertext_matrix_vector"]
+
+
+def sum_slots(ct, evaluator, galois_keys, width=None):
+    """Rotate-and-sum: every slot of the result holds the slot total.
+
+    ``width`` (a power of two, default: all slots) limits the reduction
+    to the first ``width`` slots when data is packed in blocks.
+    Uses ``log2(width)`` rotations — the reduction pattern inside CCMM.
+    """
+    n = evaluator.context.params.slot_count
+    if width is None:
+        width = n
+    if width < 1 or width & (width - 1):
+        raise ValueError(f"width must be a power of two, got {width}")
+    if width > n:
+        raise ValueError(f"width {width} exceeds slot count {n}")
+    step = 1
+    while step < width:
+        ct = evaluator.add(ct, evaluator.rotate(ct, step, galois_keys))
+        step *= 2
+    return ct
+
+
+def ciphertext_dot(ct_a, ct_b, evaluator, relin_key, galois_keys,
+                   width=None):
+    """Inner product of two encrypted vectors (1 CMult + log rotations).
+
+    The result appears in every slot (of the reduced block).
+    """
+    prod = evaluator.rescale(evaluator.multiply(ct_a, ct_b, relin_key))
+    return sum_slots(prod, evaluator, galois_keys, width=width)
+
+
+def required_rotation_steps_for_sum(width):
+    """Rotation steps :func:`sum_slots` needs keys for."""
+    steps = []
+    step = 1
+    while step < width:
+        steps.append(step)
+        step *= 2
+    return steps
+
+
+class PlainMatrixProduct:
+    """PCMM: multiply an encrypted vector by a plaintext matrix.
+
+    Wraps :class:`LinearTransform` with rectangular ``(rows, cols)``
+    shapes zero-padded into the slot grid.
+    """
+
+    def __init__(self, context, matrix):
+        m = np.asarray(matrix, dtype=np.complex128)
+        if m.ndim != 2:
+            raise ValueError("matrix must be 2-D")
+        n = context.params.slot_count
+        rows, cols = m.shape
+        if rows > n or cols > n:
+            raise ValueError(
+                f"matrix {m.shape} exceeds the {n}-slot grid"
+            )
+        padded = np.zeros((n, n), dtype=np.complex128)
+        padded[:rows, :cols] = m
+        self.shape = (rows, cols)
+        self._transform = LinearTransform(context, padded)
+
+    def required_rotation_steps(self):
+        return self._transform.required_rotation_steps()
+
+    def apply(self, ct, evaluator, galois_keys):
+        """Return ``rescale(M @ slots(ct))`` (output in slots [0, rows))."""
+        return evaluator.rescale(
+            self._transform.apply(ct, evaluator, galois_keys)
+        )
+
+
+def ciphertext_matrix_vector(row_cts, ct_vector, evaluator, relin_key,
+                             galois_keys, width):
+    """CCMM building block: encrypted matrix (list of encrypted rows)
+    times encrypted vector.
+
+    Returns one ciphertext per output element, each holding the dot
+    product broadcast across its reduced block.  This is the
+    row-packing formulation the paper attributes to [13]; at paper scale
+    one ciphertext packs many rows, here each toy row is one ciphertext.
+    """
+    if not row_cts:
+        raise ValueError("need at least one matrix row")
+    return [
+        ciphertext_dot(row, ct_vector, evaluator, relin_key, galois_keys,
+                       width=width)
+        for row in row_cts
+    ]

@@ -1,0 +1,121 @@
+"""Analytic noise tracking for CKKS ciphertexts.
+
+Every CKKS operation adds or amplifies noise; when the noise approaches
+the scale, decryption precision collapses.  This module provides:
+
+* :class:`NoiseEstimator` — closed-form upper estimates of the noise
+  (in coefficient units) after each evaluator operation, using the
+  standard canonical-embedding heuristics; and
+* :func:`measure_noise` — the *actual* noise of a ciphertext, obtained
+  by decrypting and subtracting a known expected message.
+
+The estimator lets applications budget levels/scales before running —
+the same arithmetic the paper's depth accounting ([12], [30]) performs
+when placing bootstraps.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["NoiseEstimator", "measure_noise"]
+
+
+class NoiseEstimator:
+    """Heuristic noise bounds (coefficient infinity-norm estimates).
+
+    Estimates follow the usual CKKS average-case analysis: a fresh
+    encryption carries ``O(sigma * sqrt(N))`` noise; additions add
+    noises; multiplications cross-multiply message and noise; every
+    keyswitch adds a basis-conversion term; rescale divides by the
+    dropped prime and adds a rounding term.
+    """
+
+    def __init__(self, context):
+        self.context = context
+        params = context.params
+        self._n = params.poly_degree
+        self._sigma = params.error_stddev
+        h = params.secret_hamming_weight
+        self._s_norm = h if h is not None else self._n // 2
+
+    # ------------------------------------------------------------------
+
+    def fresh(self):
+        """Noise of a fresh public-key encryption."""
+        # e0 + u*e + s*e1: three error terms spread by the ring product.
+        return self._sigma * math.sqrt(self._n) * (
+            1.0 + 2.0 * math.sqrt(2.0 / 3.0)
+        )
+
+    def add(self, noise_a, noise_b):
+        return noise_a + noise_b
+
+    def multiply_plain(self, noise, plain_scale, plain_magnitude=1.0):
+        """PMult: noise scales by the encoded plaintext magnitude."""
+        return noise * plain_scale * plain_magnitude * math.sqrt(self._n) \
+            / math.sqrt(self._n)  # canonical norm of the encoded plain
+
+    def keyswitch(self):
+        """Additive keyswitch noise (per-limb digit decomposition)."""
+        rns = self.context.rns
+        p = 1.0
+        for i in rns.special_indices:
+            p *= rns.moduli[i]
+        worst_digit = max(rns.moduli[i] for i in rns.data_indices)
+        limbs = len(rns.data_indices)
+        return (limbs * worst_digit * self._sigma * math.sqrt(self._n)
+                / p) + math.sqrt(self._n / 12.0) * (1 + self._s_norm)
+
+    def rotate(self, noise):
+        return noise + self.keyswitch()
+
+    def multiply(self, noise_a, noise_b, message_a, message_b):
+        """CMult: cross terms plus relinearization noise.
+
+        ``message_*`` are the scaled message magnitudes (value * scale).
+        """
+        return (noise_a * message_b + noise_b * message_a
+                + noise_a * noise_b + self.keyswitch())
+
+    def rescale(self, noise, dropped_modulus):
+        """Rescale: divide, plus the rounding term."""
+        return (noise / dropped_modulus
+                + math.sqrt(self._n / 12.0) * (1 + self._s_norm))
+
+    # ------------------------------------------------------------------
+
+    def precision_bits(self, noise, scale):
+        """Bits of message precision remaining at the given noise/scale."""
+        if noise <= 0:
+            return float("inf")
+        return math.log2(scale / noise)
+
+    def budget_exhausted(self, noise, scale, threshold_bits=4.0):
+        """Whether decryption precision has (heuristically) collapsed."""
+        return self.precision_bits(noise, scale) < threshold_bits
+
+
+def measure_noise(fixture_decryptor, encoder, ciphertext, expected_values):
+    """Measured coefficient-domain noise of ``ciphertext``.
+
+    ``expected_values`` are the true slot values; the residual after
+    subtracting their encoding is the realized noise (infinity norm).
+    """
+    pt = fixture_decryptor.decrypt(ciphertext)
+    got = pt.poly.to_int_coeffs(centered=True).astype(float)
+    expected_coeffs = encoder.slots_to_coeffs(
+        _pad(expected_values, encoder.slot_count)
+    ) * ciphertext.scale
+    return float(abs(got - expected_coeffs).max())
+
+
+def _pad(values, slots):
+    import numpy as np
+
+    z = np.asarray(values, dtype=complex)
+    if z.shape[0] == slots:
+        return z
+    out = np.zeros(slots, dtype=complex)
+    out[: z.shape[0]] = z
+    return out

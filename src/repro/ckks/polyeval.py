@@ -1,0 +1,78 @@
+"""Homomorphic polynomial evaluation.
+
+Used by non-linear layers (ReLU / GeLU / Softmax approximations) and by the
+EvalExp stage of bootstrapping.  Powers are built with a binary product
+tree (depth ``log2(deg)``, the structure of paper Fig. 3(a)); the linear
+combination brings every term to a common scale and basis before summing,
+spending exactly one extra level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks.ciphertext import Ciphertext
+
+__all__ = ["evaluate_polynomial", "power_tree_depth"]
+
+
+def power_tree_depth(degree):
+    """Multiplicative depth of the binary power tree for ``x**degree``."""
+    if degree < 1:
+        return 0
+    return max(0, int(degree).bit_length() - 1)
+
+
+def evaluate_polynomial(ct: Ciphertext, coefficients, evaluator, relin_key,
+                        galois_keys=None) -> Ciphertext:
+    """Evaluate ``sum_k coefficients[k] * x**k`` on encrypted ``x``.
+
+    ``coefficients`` may be real or complex; zero coefficients are skipped.
+    Consumes ``floor(log2(deg)) + 1`` levels (power tree + combination).
+    """
+    coeffs = np.asarray(coefficients, dtype=np.complex128)
+    if coeffs.ndim != 1 or coeffs.shape[0] == 0:
+        raise ValueError("coefficients must be a non-empty 1-D sequence")
+    degree = coeffs.shape[0] - 1
+    nonzero = [k for k in range(1, degree + 1) if abs(coeffs[k]) > 0]
+    if not nonzero:
+        # Pure constant: return an encryption-preserving identity of it.
+        zeroed = evaluator.multiply_const(ct, 0.0)
+        zeroed = evaluator.rescale(zeroed)
+        return evaluator.add_const(zeroed, complex(coeffs[0]))
+
+    powers = {1: ct}
+
+    def build_power(k):
+        if k in powers:
+            return powers[k]
+        half = k // 2
+        other = k - half
+        left = build_power(half)
+        right = build_power(other)
+        prod = evaluator.multiply(left, right, relin_key)
+        powers[k] = evaluator.rescale(prod)
+        return powers[k]
+
+    for k in nonzero:
+        build_power(k)
+
+    # Align every term to one (scale, basis): encode each coefficient at the
+    # per-power scale that lands the product on the shared target scale.
+    deepest = min(nonzero, key=lambda k: len(powers[k].basis))
+    target_basis = powers[deepest].basis
+    target_scale = max(powers[k].scale for k in nonzero)
+    params_scale = evaluator.context.params.scale
+    product_scale = target_scale * params_scale
+    result = None
+    for k in nonzero:
+        p = evaluator.drop_to_basis(powers[k], target_basis)
+        coeff_scale = product_scale / p.scale
+        term = evaluator.multiply_const(p, complex(coeffs[k]), scale=coeff_scale)
+        # Normalize the bookkeeping: all terms now share product_scale.
+        term = Ciphertext(c0=term.c0, c1=term.c1, scale=product_scale)
+        result = term if result is None else evaluator.add(result, term)
+    result = evaluator.rescale(result)
+    if abs(coeffs[0]) > 0:
+        result = evaluator.add_const(result, complex(coeffs[0]))
+    return result

@@ -1,0 +1,136 @@
+"""Serialization of CKKS objects to ``.npz`` archives.
+
+The client/server FHE workflow (paper Section I: clients encrypt, the
+datacenter computes) needs ciphertexts and evaluation keys on the wire.
+This module round-trips parameters, ciphertexts, public keys and
+keyswitch keys through NumPy archives; the secret key is deliberately
+serializable only via an explicit opt-in flag.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.context import CkksContext
+from repro.ckks.keys import GaloisKeys, KeySwitchKey, PublicKey
+from repro.ckks.params import CkksParameters
+from repro.poly import RnsPoly
+
+__all__ = [
+    "save_ciphertext",
+    "load_ciphertext",
+    "save_public_key",
+    "load_public_key",
+    "save_galois_keys",
+    "load_galois_keys",
+    "params_to_json",
+    "params_from_json",
+]
+
+
+def params_to_json(params: CkksParameters) -> str:
+    """Serialize a parameter set (the shared context description)."""
+    return json.dumps({
+        "poly_degree": params.poly_degree,
+        "first_modulus_bits": params.first_modulus_bits,
+        "scale_bits": params.scale_bits,
+        "num_scale_moduli": params.num_scale_moduli,
+        "special_modulus_bits": params.special_modulus_bits,
+        "num_special_moduli": params.num_special_moduli,
+        "error_stddev": params.error_stddev,
+        "secret_hamming_weight": params.secret_hamming_weight,
+    })
+
+
+def params_from_json(text: str) -> CkksParameters:
+    return CkksParameters(**json.loads(text))
+
+
+def _poly_payload(prefix, poly):
+    return {
+        f"{prefix}_data": poly.data,
+        f"{prefix}_basis": np.array(poly.basis, dtype=np.int64),
+    }
+
+
+def _poly_from(archive, prefix, context):
+    data = archive[f"{prefix}_data"]
+    basis = tuple(int(i) for i in archive[f"{prefix}_basis"])
+    return RnsPoly(context.rns, data, basis)
+
+
+def save_ciphertext(path_or_file, ct: Ciphertext):
+    """Write a ciphertext (and its scale metadata) to ``.npz``."""
+    payload = {"scale": np.array([ct.scale])}
+    payload.update(_poly_payload("c0", ct.c0))
+    payload.update(_poly_payload("c1", ct.c1))
+    np.savez_compressed(path_or_file, **payload)
+
+
+def load_ciphertext(path_or_file, context: CkksContext) -> Ciphertext:
+    with np.load(path_or_file) as archive:
+        return Ciphertext(
+            c0=_poly_from(archive, "c0", context),
+            c1=_poly_from(archive, "c1", context),
+            scale=float(archive["scale"][0]),
+        )
+
+
+def save_public_key(path_or_file, pk: PublicKey):
+    payload = {}
+    payload.update(_poly_payload("b", pk.b))
+    payload.update(_poly_payload("a", pk.a))
+    np.savez_compressed(path_or_file, **payload)
+
+
+def load_public_key(path_or_file, context: CkksContext) -> PublicKey:
+    with np.load(path_or_file) as archive:
+        return PublicKey(
+            b=_poly_from(archive, "b", context),
+            a=_poly_from(archive, "a", context),
+        )
+
+
+def save_galois_keys(path_or_file, keys: GaloisKeys):
+    """Write all rotation/conjugation keyswitch keys to one archive."""
+    payload = {
+        "elements": np.array(sorted(keys.keys), dtype=np.int64),
+    }
+    for element, ksk in keys.keys.items():
+        payload[f"g{element}_count"] = np.array([len(ksk.pairs)])
+        for i, (k0, k1) in enumerate(ksk.pairs):
+            payload.update(_poly_payload(f"g{element}_p{i}_k0", k0))
+            payload.update(_poly_payload(f"g{element}_p{i}_k1", k1))
+    np.savez_compressed(path_or_file, **payload)
+
+
+def load_galois_keys(path_or_file, context: CkksContext) -> GaloisKeys:
+    with np.load(path_or_file) as archive:
+        keys = {}
+        for element in archive["elements"]:
+            element = int(element)
+            count = int(archive[f"g{element}_count"][0])
+            pairs = tuple(
+                (
+                    _poly_from(archive, f"g{element}_p{i}_k0", context),
+                    _poly_from(archive, f"g{element}_p{i}_k1", context),
+                )
+                for i in range(count)
+            )
+            keys[element] = KeySwitchKey(pairs=pairs)
+        return GaloisKeys(keys=keys)
+
+
+def ciphertext_to_bytes(ct: Ciphertext) -> bytes:
+    """In-memory serialization (what the DTU actually moves)."""
+    buf = io.BytesIO()
+    save_ciphertext(buf, ct)
+    return buf.getvalue()
+
+
+def ciphertext_from_bytes(blob: bytes, context: CkksContext) -> Ciphertext:
+    return load_ciphertext(io.BytesIO(blob), context)

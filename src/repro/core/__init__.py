@@ -1,0 +1,17 @@
+"""The Hydra system facade: prototypes, benchmark runner, result cache."""
+
+from repro.core.system import (
+    HydraSystem,
+    available_benchmarks,
+    available_systems,
+    clear_run_cache,
+    run_benchmark,
+)
+
+__all__ = [
+    "HydraSystem",
+    "available_benchmarks",
+    "available_systems",
+    "clear_run_cache",
+    "run_benchmark",
+]

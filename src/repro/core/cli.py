@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show available deployments and benchmarks.
+``run -s SYSTEM -b BENCHMARK``
+    Simulate one benchmark; prints runtime, per-procedure spans,
+    communication overhead and energy.
+``sweep -b BENCHMARK --cards 1 2 4 8 ...``
+    Card-count scaling study (paper Fig. 9 style).
+``resources``
+    Single-card FPGA utilization (paper Table IV).
+``dft --slots N --cards C``
+    Optimal bootstrapping DFT parameters (paper Table V / Eq. 1).
+``trace -s SYSTEM -b BENCHMARK --step NAME``
+    Text Gantt chart of one scheduled step.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import format_table, render_gantt
+from repro.core.system import (
+    HydraSystem,
+    available_benchmarks,
+    available_systems,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hydra scale-out FHE accelerator reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show deployments and benchmarks")
+
+    run_p = sub.add_parser("run", help="simulate one benchmark")
+    run_p.add_argument("-s", "--system", default="Hydra-M",
+                       help="deployment name (see `list`)")
+    run_p.add_argument("-b", "--benchmark", default="resnet18")
+    run_p.add_argument("--no-energy", action="store_true")
+
+    sweep_p = sub.add_parser("sweep", help="card-count scaling study")
+    sweep_p.add_argument("-b", "--benchmark", default="resnet18")
+    sweep_p.add_argument("--cards", type=int, nargs="+",
+                         default=[1, 2, 4, 8, 16, 32, 64])
+
+    sub.add_parser("resources", help="FPGA utilization (Table IV)")
+
+    dft_p = sub.add_parser("dft", help="bootstrapping DFT parameters")
+    dft_p.add_argument("--slots", type=int, default=15,
+                       help="log2 of the slot count")
+    dft_p.add_argument("--cards", type=int, default=8)
+
+    trace_p = sub.add_parser("trace", help="Gantt chart of one step")
+    trace_p.add_argument("-s", "--system", default="Hydra-M")
+    trace_p.add_argument("-b", "--benchmark", default="resnet18")
+    trace_p.add_argument("--step", default=None,
+                         help="step name (default: first ConvBN)")
+
+    report_p = sub.add_parser(
+        "report", help="compact full-system report (Table II style)")
+    report_p.add_argument("-b", "--benchmark", default="resnet18")
+    return parser
+
+
+def _cmd_list(_args, out):
+    out(f"systems:    {', '.join(available_systems())}")
+    out(f"benchmarks: {', '.join(available_benchmarks())}")
+    return 0
+
+
+def _cmd_run(args, out):
+    system = HydraSystem.named(args.system)
+    result = system.run(args.benchmark, with_energy=not args.no_energy)
+    out(f"{args.benchmark} on {args.system} "
+        f"({system.total_cards} cards)")
+    out(f"  total time:    {result.total_seconds:.2f} s")
+    out(f"  comm overhead: {100 * result.comm_overhead_fraction:.2f} %")
+    out(f"  data moved:    {result.bytes_transferred / 1e9:.2f} GB")
+    for proc, span in sorted(result.procedure_span.items(),
+                             key=lambda kv: -kv[1]):
+        out(f"  {proc:10s} {span:10.3f} s")
+    if result.energy is not None:
+        out(f"  energy:        {result.energy.total / 1e3:.2f} kJ")
+    return 0
+
+
+def _cmd_sweep(args, out):
+    from repro.hw import hydra_cluster
+
+    rows = []
+    base = None
+    for cards in args.cards:
+        servers = 1 if cards <= 8 else -(-cards // 8)
+        per_server = cards if cards <= 8 else 8
+        system = HydraSystem(hydra_cluster(servers, per_server))
+        r = system.run(args.benchmark, with_energy=False)
+        if base is None:
+            base = r
+        speedup = base.total_seconds / r.total_seconds
+        rows.append([cards, r.total_seconds, speedup,
+                     100.0 * speedup / cards,
+                     100.0 * r.comm_overhead_fraction])
+    out(format_table(
+        ["Cards", "Time (s)", "Speedup", "Efficiency %", "Comm %"], rows,
+        title=f"{args.benchmark} scaling",
+    ))
+    return 0
+
+
+def _cmd_resources(_args, out):
+    from repro.hw import U280_RESOURCES
+
+    out(U280_RESOURCES.table())
+    return 0
+
+
+def _cmd_dft(args, out):
+    from repro.cost import OpCostModel
+    from repro.hw import HYDRA_CARD
+    from repro.sched import optimal_dft_parameters
+
+    cost = OpCostModel(HYDRA_CARD)
+    params, time = optimal_dft_parameters(cost, args.slots, args.cards)
+    out(f"logSlots={args.slots}, cards={args.cards}")
+    out(f"  radices:     {params.radices}")
+    out(f"  baby steps:  {params.baby_steps}")
+    out(f"  giant steps: {params.giant_steps}")
+    out(f"  DFT time:    {time * 1e3:.2f} ms")
+    return 0
+
+
+def _cmd_trace(args, out):
+    from repro.sim import ProgramBuilder, Simulator
+
+    system = HydraSystem.named(args.system)
+    model = system.build_model(args.benchmark)
+    step = None
+    if args.step:
+        matches = [s for s in model.steps if s.name == args.step]
+        if not matches:
+            out(f"no step named {args.step!r}; options: "
+                + ", ".join(s.name for s in model.steps[:20]) + " ...")
+            return 1
+        step = matches[0]
+    else:
+        step = next((s for s in model.steps if s.is_unit_parallel),
+                    model.steps[0])
+    planner = system.planner
+    builder = ProgramBuilder(system.total_cards)
+    scale = (model.work_scale
+             * planner.calibration.work_scale.get(model.name, 1.0))
+    planner._map_step(step, builder, scale)
+    sim = Simulator(system.cluster, trace=True)
+    result = sim.run(builder.build())
+    out(f"step {step.name!r} ({step.procedure}) on {args.system}: "
+        f"{result.makespan * 1e3:.2f} ms")
+    out(render_gantt(result.trace, makespan=result.makespan))
+    return 0
+
+
+def _cmd_report(args, out):
+    from repro.baselines import ASIC_ACCELERATORS, asic_runtime
+
+    rows = []
+    for accel in ASIC_ACCELERATORS:
+        rows.append([f"{accel} (ASIC, published)",
+                     asic_runtime(accel, args.benchmark), "-"])
+    base = None
+    for name in available_systems():
+        r = HydraSystem.named(name).run(args.benchmark, with_energy=False)
+        if name == "Hydra-S":
+            base = r
+        rows.append([name, r.total_seconds,
+                     f"{100 * r.comm_overhead_fraction:.1f}%"])
+    out(format_table(
+        ["Accelerator", "Time (s)", "Comm"],
+        rows,
+        title=f"Full-system report — {args.benchmark}",
+    ))
+    if base is not None:
+        hydra_l = HydraSystem.named("Hydra-L").run(args.benchmark,
+                                                   with_energy=False)
+        out(f"\nHydra-L speedup over Hydra-S: "
+            f"{base.total_seconds / hydra_l.total_seconds:.1f}x")
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "resources": _cmd_resources,
+    "dft": _cmd_dft,
+    "trace": _cmd_trace,
+    "report": _cmd_report,
+}
+
+
+def main(argv=None, out=print):
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)

@@ -1,0 +1,135 @@
+"""High-level entry point: build a Hydra deployment and run benchmarks.
+
+This is the paper's primary contribution assembled: the scale-out
+architecture (hardware + fabric), the task mapping strategies, and the
+synchronization machinery, behind one class::
+
+    from repro.core import HydraSystem
+
+    system = HydraSystem.hydra_m()           # 1 server x 8 cards
+    result = system.run("resnet18")
+    print(result.total_seconds, result.comm_overhead_fraction)
+
+A process-wide cache keyed by (benchmark, cluster) lets the nine
+benchmark harnesses share full-model simulations.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.fab import FAB_L, FAB_M, FAB_S
+from repro.baselines.poseidon import POSEIDON
+from repro.hw.cluster import HYDRA_L, HYDRA_M, HYDRA_S, hydra_cluster
+from repro.models import BENCHMARKS
+from repro.sched.planner import Planner
+
+__all__ = [
+    "HydraSystem",
+    "run_benchmark",
+    "available_benchmarks",
+    "available_systems",
+    "clear_run_cache",
+]
+
+_SYSTEMS = {
+    "Hydra-S": HYDRA_S,
+    "Hydra-M": HYDRA_M,
+    "Hydra-L": HYDRA_L,
+    "FAB-S": FAB_S,
+    "FAB-M": FAB_M,
+    "FAB-L": FAB_L,
+    "Poseidon": POSEIDON,
+}
+
+_RUN_CACHE = {}
+
+
+def available_benchmarks():
+    """Names of the paper's four benchmarks."""
+    return sorted(BENCHMARKS)
+
+
+def available_systems():
+    """Names of the predefined deployments."""
+    return list(_SYSTEMS)
+
+
+def clear_run_cache():
+    _RUN_CACHE.clear()
+
+
+class HydraSystem:
+    """One deployment (cluster + planner) ready to run benchmarks."""
+
+    def __init__(self, cluster, **planner_kwargs):
+        self.cluster = cluster
+        self.planner = Planner(cluster, **planner_kwargs)
+
+    # ------------------------------------------------------------------
+    # Prototype constructors (paper Section V-A)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def hydra_s(cls, **kw):
+        """1 server, 1 card (no DTU)."""
+        return cls(HYDRA_S, **kw)
+
+    @classmethod
+    def hydra_m(cls, **kw):
+        """1 server, 8 cards behind one switch."""
+        return cls(HYDRA_M, **kw)
+
+    @classmethod
+    def hydra_l(cls, **kw):
+        """8 servers x 8 cards, two-tier switching."""
+        return cls(HYDRA_L, **kw)
+
+    @classmethod
+    def custom(cls, servers, cards_per_server, **kw):
+        """Arbitrary scale-out deployment (the paper's 'arbitrary
+        computational nodes' claim)."""
+        return cls(hydra_cluster(servers, cards_per_server), **kw)
+
+    @classmethod
+    def named(cls, name, **kw):
+        try:
+            return cls(_SYSTEMS[name], **kw)
+        except KeyError:
+            raise KeyError(
+                f"unknown system {name!r}; available: {available_systems()}"
+            ) from None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_cards(self):
+        return self.cluster.total_cards
+
+    def build_model(self, benchmark):
+        try:
+            return BENCHMARKS[benchmark]()
+        except KeyError:
+            raise KeyError(
+                f"unknown benchmark {benchmark!r}; available: "
+                f"{available_benchmarks()}"
+            ) from None
+
+    def run(self, benchmark, with_energy=True, use_cache=True):
+        """Run one benchmark to completion; returns a ModelRunResult."""
+        if isinstance(benchmark, str):
+            model = self.build_model(benchmark)
+            key = (benchmark, self.cluster.name, with_energy)
+        else:
+            model = benchmark
+            key = (model.name, self.cluster.name, with_energy)
+        if use_cache and key in _RUN_CACHE:
+            return _RUN_CACHE[key]
+        result = self.planner.run_model(model, with_energy=with_energy)
+        if use_cache:
+            _RUN_CACHE[key] = result
+        return result
+
+
+def run_benchmark(benchmark, system_name, with_energy=True):
+    """Convenience: run ``benchmark`` on the named deployment (cached)."""
+    return HydraSystem.named(system_name).run(benchmark,
+                                              with_energy=with_energy)

@@ -1,0 +1,69 @@
+"""Calibration constants for the cost and energy models.
+
+Everything in the reproduction derives from structural models (operator
+decompositions, bandwidths, lane counts); the constants below are the only
+tuned quantities, anchored as follows:
+
+* ``work_scale`` per benchmark — absolute single-card (Hydra-S) runtimes
+  from paper Table II.  These capture the ciphertext-packing efficiency of
+  the respective FHE model implementations ([12] for CNNs, [13] for LLMs),
+  which the paper does not publish at operator granularity.  They scale a
+  whole benchmark uniformly, so every *ratio* the paper claims (between
+  accelerators, card counts, and procedures) remains emergent from the
+  scheduler + simulator.
+* energy-per-operation values — standard FPGA building-block estimates
+  (DSP multiply, BRAM access, HBM2 per-byte, NIC per-byte) at the U280's
+  16 nm process.
+* ``asic_area_mm2`` / ``asic_power_scale`` — the 7 nm-normalized RTL
+  numbers the paper uses for the EDAP comparison (Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Calibration", "DEFAULT_CALIBRATION"]
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Tuned constants; see module docstring for provenance."""
+
+    # --- energy (dynamic, per elementary operation / byte) -------------
+    # FPGA-fabric figures at 16 nm: a radix butterfly is a DSP multiply
+    # plus adders plus (dominant) routing; the memory figure covers the
+    # whole subsystem (HBM PHY + controller + BRAM/URAM scratchpad).
+    ntt_butterfly_pj: float = 140.0
+    modmul_pj: float = 110.0
+    modadd_pj: float = 15.0
+    automorphism_pj: float = 12.0  # data movement through muxes
+    hbm_pj_per_byte: float = 130.0
+    dtu_pj_per_byte: float = 35.0  # NIC hardcore + DMA per byte
+    static_power_fraction: float = 0.22  # board static share of busy power
+
+    # --- EDAP normalization (paper Table III, 7 nm) ---------------------
+    # Table III normalizes every design to 7 nm and reports EDAP in
+    # J*s*m^2.  One Hydra card's compute logic (4 CUs x 512 lanes +
+    # scratchpad), re-synthesized as 7 nm ASIC silicon, is a ~11 mm^2 /
+    # ~5 W design — an order of magnitude below the 16 nm FPGA board it
+    # is prototyped on.  These constants are solved from the paper's
+    # Hydra-S column (power*area ~= 55 W*mm^2 across the benchmarks).
+    hydra_card_area_mm2: float = 11.0
+    hydra_card_power_w: float = 5.0
+
+    # --- benchmark work scales (anchored to Hydra-S, Table II) ----------
+    # Solved so that the single-card Hydra-S runtime of each benchmark
+    # matches the paper's Table II column (41.29 / 686.63 / 462.44 /
+    # 18004.83 s).  They scale only unit-parallel steps (the Table-I unit
+    # abstraction); see repro.sched.planner._map_step.
+    work_scale: dict = field(
+        default_factory=lambda: {
+            "resnet18": 0.5854,
+            "resnet50": 1.2357,
+            "bert_base": 0.0939,
+            "opt_6_7b": 0.1874,
+        }
+    )
+
+
+DEFAULT_CALIBRATION = Calibration()

@@ -1,0 +1,87 @@
+"""Energy model (paper Fig. 7).
+
+Dynamic energy follows the same operator decomposition as the latency
+model: each compute unit's busy time converts to elementary-operation
+counts (butterflies, modmuls, modadds, permutations) priced in picojoules,
+HBM and DTU traffic is priced per byte, and a static share proportional to
+runtime covers clocking/leakage.  The paper's qualitative findings this
+model must reproduce: memory access dominates for every benchmark; NTT and
+MM dominate among the CUs; MA is negligible; DTU is <1 % even on Hydra-L.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cost.calibration import DEFAULT_CALIBRATION
+
+__all__ = ["EnergyModel", "EnergyAccumulator"]
+
+_COMPONENTS = ("ntt", "mm", "ma", "auto", "hbm", "dtu", "static")
+
+
+@dataclass
+class EnergyAccumulator:
+    """Running per-component energy totals in joules."""
+
+    joules: dict = field(
+        default_factory=lambda: {c: 0.0 for c in _COMPONENTS}
+    )
+
+    def add(self, component, joules):
+        if component not in self.joules:
+            raise ValueError(f"unknown energy component {component!r}")
+        self.joules[component] += joules
+
+    def merge(self, other):
+        for c, j in other.joules.items():
+            self.joules[c] += j
+
+    @property
+    def total(self):
+        return sum(self.joules.values())
+
+    def breakdown(self):
+        """Fractions per component (empty accumulator → all zeros)."""
+        total = self.total
+        if total <= 0:
+            return {c: 0.0 for c in self.joules}
+        return {c: j / total for c, j in self.joules.items()}
+
+
+class EnergyModel:
+    """Converts :class:`repro.cost.OpComponents` streams into energy."""
+
+    def __init__(self, card, calibration=DEFAULT_CALIBRATION):
+        self.card = card
+        self.cal = calibration
+        # Elementary operations per second of busy time for each unit:
+        # every cycle each lane retires one elementary op.
+        self._ops_per_busy_second = (
+            card.lanes * card.frequency_hz * card.pipeline_efficiency
+        )
+
+    def energy_of(self, components, accumulator=None):
+        """Account one operation's components; returns the accumulator."""
+        acc = accumulator or EnergyAccumulator()
+        rate = self._ops_per_busy_second
+        cal = self.cal
+        acc.add("ntt", components.ntt_s * rate * cal.ntt_butterfly_pj * 1e-12)
+        acc.add("mm", components.mm_s * rate * cal.modmul_pj * 1e-12)
+        acc.add("ma", components.ma_s * rate * cal.modadd_pj * 1e-12)
+        acc.add("auto", components.auto_s * rate * cal.automorphism_pj * 1e-12)
+        acc.add("hbm", components.hbm_bytes * cal.hbm_pj_per_byte * 1e-12)
+        return acc
+
+    def communication_energy(self, bytes_transferred, accumulator=None):
+        """DTU energy for card-to-card traffic."""
+        acc = accumulator or EnergyAccumulator()
+        acc.add("dtu", bytes_transferred * self.cal.dtu_pj_per_byte * 1e-12)
+        return acc
+
+    def static_energy(self, elapsed_seconds, cards, accumulator=None):
+        """Static/clocking share over the full run, for all cards."""
+        acc = accumulator or EnergyAccumulator()
+        power = (self.card.board_power_w * self.cal.static_power_fraction)
+        acc.add("static", power * elapsed_seconds * cards)
+        return acc

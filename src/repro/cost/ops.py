@@ -1,0 +1,75 @@
+"""The FHE operation vocabulary and per-layer operation bundles.
+
+Paper Table I decomposes every DL parallel unit into counts of four FHE
+operations; those rows are reproduced here as :class:`OpBundle` constants.
+Schedulers hand bundles to :class:`repro.cost.OpCostModel` to price a
+parallel unit at a given ciphertext level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "OpBundle",
+    "CONVBN_UNIT",
+    "POOLING_UNIT",
+    "FC_UNIT",
+    "PCMM_UNIT",
+    "CCMM_UNIT",
+    "NONLINEAR_UNIT",
+]
+
+
+@dataclass(frozen=True)
+class OpBundle:
+    """Counts of FHE operations making up one parallel compute unit."""
+
+    rotation: int = 0
+    cmult: int = 0
+    pmult: int = 0
+    hadd: int = 0
+    rescale: int = 0
+
+    def scaled(self, factor):
+        """Bundle with every count multiplied by ``factor`` (int)."""
+        return OpBundle(
+            rotation=self.rotation * factor,
+            cmult=self.cmult * factor,
+            pmult=self.pmult * factor,
+            hadd=self.hadd * factor,
+            rescale=self.rescale * factor,
+        )
+
+    def __add__(self, other):
+        return OpBundle(
+            rotation=self.rotation + other.rotation,
+            cmult=self.cmult + other.cmult,
+            pmult=self.pmult + other.pmult,
+            hadd=self.hadd + other.hadd,
+            rescale=self.rescale + other.rescale,
+        )
+
+    @property
+    def total_ops(self):
+        return (self.rotation + self.cmult + self.pmult + self.hadd
+                + self.rescale)
+
+
+#: Table I, ConvBN row: 8 Rotations, 2 PMults, 7 HAdds per kernel unit.
+CONVBN_UNIT = OpBundle(rotation=8, pmult=2, hadd=7)
+
+#: Table I, Pooling row: 2 Rotations, 1 PMult.
+POOLING_UNIT = OpBundle(rotation=2, pmult=1)
+
+#: Table I, FC row: 1 Rotation, 1 PMult.
+FC_UNIT = OpBundle(rotation=1, pmult=1)
+
+#: Table I, PCMM row: 1 Rotation, 1 PMult.
+PCMM_UNIT = OpBundle(rotation=1, pmult=1)
+
+#: Table I, CCMM row: 7 Rotations, 1 CMult, 1 PMult, 6 HAdds.
+CCMM_UNIT = OpBundle(rotation=7, cmult=1, pmult=1, hadd=6)
+
+#: Table I, Non-linear row: 8 CMults, 15 HAdds per polynomial evaluation.
+NONLINEAR_UNIT = OpBundle(cmult=8, hadd=15)

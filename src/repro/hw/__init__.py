@@ -1,0 +1,45 @@
+"""Hardware models: FPGA cards, networks, clusters, and FPGA resources.
+
+These are static *descriptions*; the dynamic behaviour lives in
+:mod:`repro.sim` (event simulation) and :mod:`repro.cost` (per-operation
+latency/energy derived from a :class:`CardSpec`).
+"""
+
+from repro.hw.card import (
+    FAB_CARD,
+    HYDRA_CARD,
+    POSEIDON_CARD,
+    CardSpec,
+)
+from repro.hw.cluster import (
+    ClusterSpec,
+    NetworkSpec,
+    fab_cluster,
+    hydra_cluster,
+    HYDRA_S,
+    HYDRA_M,
+    HYDRA_L,
+    FAB_S,
+    FAB_M,
+    FAB_L,
+)
+from repro.hw.resources import FpgaResourceModel, U280_RESOURCES
+
+__all__ = [
+    "CardSpec",
+    "ClusterSpec",
+    "FAB_CARD",
+    "FAB_L",
+    "FAB_M",
+    "FAB_S",
+    "FpgaResourceModel",
+    "HYDRA_CARD",
+    "HYDRA_L",
+    "HYDRA_M",
+    "HYDRA_S",
+    "NetworkSpec",
+    "POSEIDON_CARD",
+    "U280_RESOURCES",
+    "fab_cluster",
+    "hydra_cluster",
+]

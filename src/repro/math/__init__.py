@@ -1,0 +1,34 @@
+"""Number-theoretic building blocks for the CKKS substrate.
+
+The FHE hardware the paper accelerates (NTT, modular add/mul, automorphism
+units) maps one-to-one onto this package:
+
+* :mod:`repro.math.modular` — modular exponentiation, inverses,
+  Miller-Rabin primality, primitive roots, and a software model of the
+  Barrett reduction circuit used by Hydra's MM unit.
+* :mod:`repro.math.primes` — generation of NTT-friendly primes
+  (``q ≡ 1 (mod 2N)``) that form the RNS moduli chain.
+* :mod:`repro.math.ntt` — vectorized negacyclic number-theoretic
+  transforms over ``Z_q[X]/(X^N + 1)``.
+"""
+
+from repro.math.modular import (
+    BarrettReducer,
+    is_prime,
+    mod_exp,
+    mod_inverse,
+    primitive_root,
+)
+from repro.math.ntt import NttContext
+from repro.math.primes import find_ntt_primes, is_ntt_friendly
+
+__all__ = [
+    "BarrettReducer",
+    "NttContext",
+    "find_ntt_primes",
+    "is_ntt_friendly",
+    "is_prime",
+    "mod_exp",
+    "mod_inverse",
+    "primitive_root",
+]

@@ -1,0 +1,190 @@
+"""Scalar modular arithmetic used throughout the CKKS substrate.
+
+Everything here works on plain Python integers so it is exact for moduli of
+any width.  The vectorized hot paths live in :mod:`repro.math.ntt` and
+:mod:`repro.poly`; they restrict moduli below ``2**31`` so products fit in
+``uint64`` lanes, mirroring how Hydra's MM unit restricts operand width to
+its DSP datapath.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "mod_exp",
+    "mod_inverse",
+    "is_prime",
+    "primitive_root",
+    "nth_root_of_unity",
+    "BarrettReducer",
+]
+
+_MR_BASES_64 = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def mod_exp(base: int, exponent: int, modulus: int) -> int:
+    """Return ``base**exponent mod modulus`` (non-negative exponent)."""
+    if modulus <= 0:
+        raise ValueError(f"modulus must be positive, got {modulus}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be non-negative, got {exponent}")
+    return pow(base, exponent, modulus)
+
+
+def mod_inverse(value: int, modulus: int) -> int:
+    """Return the multiplicative inverse of ``value`` modulo ``modulus``.
+
+    Raises :class:`ValueError` when the inverse does not exist.
+    """
+    value %= modulus
+    g, x, _ = _extended_gcd(value, modulus)
+    if g != 1:
+        raise ValueError(f"{value} has no inverse modulo {modulus} (gcd={g})")
+    return x % modulus
+
+
+def _extended_gcd(a: int, b: int) -> tuple:
+    """Return ``(g, x, y)`` with ``a*x + b*y == g == gcd(a, b)``."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    return old_r, old_s, old_t
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for ``n < 3.3e24`` (covers all our moduli)."""
+    if n < 2:
+        return False
+    for p in _MR_BASES_64:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_BASES_64:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _factorize(n: int) -> list:
+    """Return the sorted distinct prime factors of ``n`` (trial + Pollard rho)."""
+    factors = set()
+    for p in (2, 3, 5, 7, 11, 13):
+        while n % p == 0:
+            factors.add(p)
+            n //= p
+    stack = [n] if n > 1 else []
+    while stack:
+        m = stack.pop()
+        if m == 1:
+            continue
+        if is_prime(m):
+            factors.add(m)
+            continue
+        d = _pollard_rho(m)
+        stack.append(d)
+        stack.append(m // d)
+    return sorted(factors)
+
+
+def _pollard_rho(n: int) -> int:
+    """Return a non-trivial factor of composite ``n``."""
+    if n % 2 == 0:
+        return 2
+    rng = random.Random(0xC0FFEE ^ n)
+    while True:
+        x = rng.randrange(2, n - 1)
+        y = x
+        c = rng.randrange(1, n - 1)
+        d = 1
+        while d == 1:
+            x = (x * x + c) % n
+            y = (y * y + c) % n
+            y = (y * y + c) % n
+            d = _gcd(abs(x - y), n)
+        if d != n:
+            return d
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def primitive_root(modulus: int) -> int:
+    """Return a generator of the multiplicative group ``Z_modulus^*``.
+
+    ``modulus`` must be prime.
+    """
+    if not is_prime(modulus):
+        raise ValueError(f"modulus {modulus} is not prime")
+    if modulus == 2:
+        return 1
+    order = modulus - 1
+    factors = _factorize(order)
+    for candidate in range(2, modulus):
+        if all(pow(candidate, order // f, modulus) != 1 for f in factors):
+            return candidate
+    raise ArithmeticError(f"no primitive root found for {modulus}")
+
+
+def nth_root_of_unity(n: int, modulus: int) -> int:
+    """Return a primitive ``n``-th root of unity modulo a prime ``modulus``.
+
+    Requires ``n`` divides ``modulus - 1``.
+    """
+    if (modulus - 1) % n != 0:
+        raise ValueError(f"{n} does not divide {modulus}-1; no n-th root exists")
+    g = primitive_root(modulus)
+    root = pow(g, (modulus - 1) // n, modulus)
+    if pow(root, n // 2, modulus) == 1 and n > 1:
+        raise ArithmeticError(f"computed root of unity is not primitive for n={n}")
+    return root
+
+
+class BarrettReducer:
+    """Software model of the Barrett reduction circuit in Hydra's MM unit.
+
+    Barrett reduction replaces the division in ``x mod q`` with two
+    multiplications by the precomputed constant ``mu = floor(4**k / q)``,
+    which is how the FPGA maps modular multiplication onto DSP slices
+    (paper Section IV-B, [35]).
+    """
+
+    def __init__(self, modulus: int):
+        if modulus < 2:
+            raise ValueError(f"modulus must be >= 2, got {modulus}")
+        self.modulus = modulus
+        self.shift = 2 * modulus.bit_length()
+        self.mu = (1 << self.shift) // modulus
+
+    def reduce(self, value: int) -> int:
+        """Return ``value mod modulus`` for ``0 <= value < modulus**2``."""
+        if value < 0:
+            raise ValueError("BarrettReducer only reduces non-negative values")
+        q_hat = (value * self.mu) >> self.shift
+        r = value - q_hat * self.modulus
+        while r >= self.modulus:
+            r -= self.modulus
+        return r
+
+    def mul(self, a: int, b: int) -> int:
+        """Modular multiplication ``a * b mod q`` via Barrett reduction."""
+        return self.reduce((a % self.modulus) * (b % self.modulus))

@@ -1,0 +1,134 @@
+"""Negacyclic number-theoretic transforms over ``Z_q[X]/(X^N + 1)``.
+
+This is the software twin of Hydra's NTT compute unit.  The hardware uses a
+radix-4 butterfly network with 512 lanes (paper Section IV-B); here we use a
+radix-2 Cooley-Tukey / Gentleman-Sande pair vectorized with NumPy, which is
+mathematically identical (radix only changes the hardware schedule, not the
+transform).
+
+Moduli must fit in 31 bits so that butterfly products fit in ``uint64``
+lanes without overflow — the same word-width discipline the FPGA applies to
+its DSP datapath.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.math.modular import mod_inverse, nth_root_of_unity
+
+__all__ = ["NttContext", "bit_reverse_permutation"]
+
+_MAX_MODULUS_BITS = 31
+
+
+def bit_reverse_permutation(n: int) -> np.ndarray:
+    """Return the length-``n`` bit-reversal permutation (n a power of two)."""
+    if n < 1 or n & (n - 1):
+        raise ValueError(f"n must be a power of two, got {n}")
+    bits = n.bit_length() - 1
+    perm = np.arange(n, dtype=np.int64)
+    result = np.zeros(n, dtype=np.int64)
+    for _ in range(bits):
+        result = (result << 1) | (perm & 1)
+        perm >>= 1
+    return result
+
+
+class NttContext:
+    """Precomputed tables for forward/inverse negacyclic NTT modulo one prime.
+
+    The negacyclic transform embeds multiplication in ``Z_q[X]/(X^N + 1)``:
+    pointwise products of transformed polynomials correspond to negacyclic
+    convolution, which is exactly the CKKS ring product.
+    """
+
+    def __init__(self, poly_degree: int, modulus: int):
+        if poly_degree < 2 or poly_degree & (poly_degree - 1):
+            raise ValueError(
+                f"poly_degree must be a power of two >= 2, got {poly_degree}"
+            )
+        if modulus.bit_length() > _MAX_MODULUS_BITS:
+            raise ValueError(
+                f"modulus must fit in {_MAX_MODULUS_BITS} bits for vectorized "
+                f"NTT, got {modulus.bit_length()} bits"
+            )
+        if modulus % (2 * poly_degree) != 1:
+            raise ValueError(
+                f"modulus {modulus} is not NTT-friendly for degree {poly_degree}"
+            )
+        self.poly_degree = poly_degree
+        self.modulus = modulus
+        psi = nth_root_of_unity(2 * poly_degree, modulus)
+        psi_inv = mod_inverse(psi, modulus)
+        rev = bit_reverse_permutation(poly_degree)
+        powers = self._power_table(psi, poly_degree, modulus)
+        powers_inv = self._power_table(psi_inv, poly_degree, modulus)
+        self._psi_rev = powers[rev].astype(np.uint64)
+        self._psi_inv_rev = powers_inv[rev].astype(np.uint64)
+        self._degree_inv = np.uint64(mod_inverse(poly_degree, modulus))
+        self._q = np.uint64(modulus)
+
+    @staticmethod
+    def _power_table(base: int, count: int, modulus: int) -> np.ndarray:
+        table = np.empty(count, dtype=np.uint64)
+        acc = 1
+        for i in range(count):
+            table[i] = acc
+            acc = acc * base % modulus
+        return table
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Transform coefficient representation to evaluation representation.
+
+        Uses the Cooley-Tukey decimation-in-time network with the ``psi``
+        powers folded into the twiddles, so no separate pre-multiplication
+        by ``psi^i`` is needed.
+        """
+        a = self._checked_copy(coeffs)
+        n = self.poly_degree
+        q = self._q
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            twiddles = self._psi_rev[m : 2 * m]
+            block = a.reshape(m, 2, t)
+            u = block[:, 0, :].copy()
+            v = (block[:, 1, :] * twiddles[:, None]) % q
+            block[:, 0, :] = (u + v) % q
+            block[:, 1, :] = (u + q - v) % q
+            m *= 2
+        return a
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Transform evaluation representation back to coefficients."""
+        a = self._checked_copy(values)
+        n = self.poly_degree
+        q = self._q
+        t = 1
+        m = n
+        while m > 1:
+            m //= 2
+            twiddles = self._psi_inv_rev[m : 2 * m]
+            block = a.reshape(m, 2, t)
+            u = block[:, 0, :].copy()
+            v = block[:, 1, :]
+            block[:, 0, :] = (u + v) % q
+            block[:, 1, :] = ((u + q - v) % q * twiddles[:, None]) % q
+            t *= 2
+        return a * self._degree_inv % q
+
+    def negacyclic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Return the product of polynomials ``a * b`` in ``Z_q[X]/(X^N+1)``."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        return self.inverse(fa * fb % self._q)
+
+    def _checked_copy(self, values: np.ndarray) -> np.ndarray:
+        arr = np.asarray(values, dtype=np.uint64).copy()
+        if arr.shape != (self.poly_degree,):
+            raise ValueError(
+                f"expected shape ({self.poly_degree},), got {arr.shape}"
+            )
+        return arr

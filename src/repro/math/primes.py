@@ -1,0 +1,53 @@
+"""Generation of NTT-friendly RNS moduli.
+
+A prime ``q`` supports a negacyclic NTT of length ``N`` when
+``q ≡ 1 (mod 2N)``, which guarantees a primitive ``2N``-th root of unity in
+``Z_q``.  CKKS moduli chains are built from such primes: a few "special"
+primes near the keyswitch extension size and a ladder of scale-sized primes.
+"""
+
+from __future__ import annotations
+
+from repro.math.modular import is_prime
+
+__all__ = ["is_ntt_friendly", "find_ntt_primes"]
+
+
+def is_ntt_friendly(q: int, poly_degree: int) -> bool:
+    """Return whether prime ``q`` supports a length-``poly_degree`` negacyclic NTT."""
+    return is_prime(q) and q % (2 * poly_degree) == 1
+
+
+def find_ntt_primes(
+    poly_degree: int,
+    bit_size: int,
+    count: int,
+    exclude: tuple = (),
+) -> list:
+    """Return ``count`` NTT-friendly primes of roughly ``bit_size`` bits.
+
+    Primes are searched downward from ``2**bit_size`` in steps of ``2N`` so
+    every candidate satisfies the congruence by construction.  ``exclude``
+    lets callers build disjoint chains (e.g. data moduli vs special moduli).
+    """
+    if poly_degree < 2 or poly_degree & (poly_degree - 1):
+        raise ValueError(f"poly_degree must be a power of two >= 2, got {poly_degree}")
+    if bit_size < poly_degree.bit_length() + 2:
+        raise ValueError(
+            f"bit_size {bit_size} too small for poly_degree {poly_degree}"
+        )
+    step = 2 * poly_degree
+    candidate = (1 << bit_size) + 1
+    # Align downward on the q ≡ 1 (mod 2N) lattice.
+    candidate -= (candidate - 1) % step
+    found = []
+    excluded = set(exclude)
+    while len(found) < count:
+        if candidate < step:
+            raise ValueError(
+                f"exhausted candidates below 2**{bit_size} for {count} primes"
+            )
+        if candidate not in excluded and is_prime(candidate):
+            found.append(candidate)
+        candidate -= step
+    return found

@@ -1,0 +1,120 @@
+"""The workload IR: a model is an ordered list of steps.
+
+A :class:`Step` is the unit of host-level scheduling (paper Procedure 2):
+a Conv layer, a Boot pass, an Attention sub-block.  Steps execute with a
+barrier between them; inside a step, the mapping strategies distribute
+work across cards with overlapped communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Step", "ModelGraph"]
+
+_UNIT_KINDS = ("convbn", "pooling", "fc", "pcmm", "ccmm")
+_POLY_KINDS = ("nonlinear", "norm")
+_ALL_KINDS = _UNIT_KINDS + _POLY_KINDS + ("bootstrap",)
+
+
+@dataclass(frozen=True)
+class Step:
+    """One host-scheduled computation step.
+
+    Attributes
+    ----------
+    kind:
+        One of convbn / pooling / fc / pcmm / ccmm (unit-parallel steps),
+        nonlinear / norm (polynomial evaluations), bootstrap.
+    name:
+        Unique step name within the model.
+    procedure:
+        Reporting bucket used by paper Fig. 6 (e.g. "ConvBN", "ReLU",
+        "Boot", "Attention", "FFN", "Norm").
+    units:
+        Table-I-style parallel unit count (unit-parallel kinds only).
+    jobs:
+        Independent ciphertext-level evaluations (poly kinds and
+        bootstrap: the number of activation ciphertexts / bootstraps).
+    degree:
+        Polynomial degree (poly kinds).
+    level:
+        Ciphertext level the step executes at.
+    output_ciphertexts:
+        Activation ciphertexts the step produces (drives broadcast
+        volume of unit-parallel steps).
+    slots_log:
+        log2(slot count) used by bootstrap DFT sizing.
+    unit_work:
+        Work multiplier per unit.  The paper's implementations group
+        multiple kernel computations into one schedulable unit (Table I
+        caps ConvBN at 1024 and fixes PCMM unit counts); ``unit_work``
+        preserves the total operation count under that grouping.
+    """
+
+    kind: str
+    name: str
+    procedure: str
+    level: int
+    units: int = 0
+    jobs: int = 0
+    degree: int = 0
+    output_ciphertexts: int = 1
+    slots_log: int = 15
+    unit_work: float = 1.0
+
+    def __post_init__(self):
+        if self.kind not in _ALL_KINDS:
+            raise ValueError(f"unknown step kind {self.kind!r}")
+        if self.kind in _UNIT_KINDS and self.units < 1:
+            raise ValueError(f"{self.kind} step needs units >= 1")
+        if self.kind in _POLY_KINDS and (self.jobs < 1 or self.degree < 1):
+            raise ValueError(f"{self.kind} step needs jobs and degree")
+        if self.kind == "bootstrap" and self.jobs < 1:
+            raise ValueError("bootstrap step needs jobs >= 1")
+        if self.level < 0:
+            raise ValueError("level must be non-negative")
+        if self.unit_work <= 0:
+            raise ValueError("unit_work must be positive")
+
+    @property
+    def is_unit_parallel(self):
+        return self.kind in _UNIT_KINDS
+
+    @property
+    def is_polynomial(self):
+        return self.kind in _POLY_KINDS
+
+
+@dataclass
+class ModelGraph:
+    """An ordered workload with per-model calibration hooks."""
+
+    name: str
+    display_name: str
+    steps: list = field(default_factory=list)
+    #: packing-efficiency calibration (see repro.cost.calibration)
+    work_scale: float = 1.0
+
+    def add(self, step: Step):
+        if any(s.name == step.name for s in self.steps):
+            raise ValueError(f"duplicate step name {step.name!r}")
+        self.steps.append(step)
+        return step
+
+    @property
+    def procedures(self):
+        return sorted({s.procedure for s in self.steps})
+
+    def steps_of_kind(self, kind):
+        return [s for s in self.steps if s.kind == kind]
+
+    def parallelism_range(self, kind):
+        """(min, max) parallel units/jobs over steps of ``kind``
+        — the Table I census."""
+        values = []
+        for s in self.steps_of_kind(kind):
+            values.append(s.units if s.is_unit_parallel else s.jobs)
+        if not values:
+            return None
+        return min(values), max(values)

@@ -1,0 +1,293 @@
+"""RNS polynomials in ``Z_Q[X]/(X^N + 1)``.
+
+An :class:`RnsPoly` stores one residue polynomial per active modulus
+(coefficient representation, shape ``(limbs, N)`` of ``uint64``).  All ring
+operations are limb-parallel, exactly how Hydra's compute units process RNS
+data.  Polynomials are value objects: every operation returns a new
+polynomial; in-place mutation is never exposed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.math.modular import mod_inverse
+
+__all__ = ["RnsPoly"]
+
+
+class RnsPoly:
+    """A polynomial held in a subset of an :class:`~repro.poly.RnsContext`.
+
+    Parameters
+    ----------
+    context:
+        The shared :class:`~repro.poly.RnsContext`.
+    data:
+        ``uint64`` array of shape ``(len(basis), N)`` with residues.
+    basis:
+        Tuple of indices into ``context.moduli`` naming the active limbs.
+    """
+
+    __slots__ = ("context", "data", "basis")
+
+    def __init__(self, context, data, basis):
+        self.context = context
+        self.basis = tuple(basis)
+        arr = np.asarray(data, dtype=np.uint64)
+        if arr.shape != (len(self.basis), context.poly_degree):
+            raise ValueError(
+                f"data shape {arr.shape} does not match basis of "
+                f"{len(self.basis)} limbs and degree {context.poly_degree}"
+            )
+        self.data = arr
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def zeros(cls, context, basis):
+        """Return the zero polynomial in the given basis."""
+        shape = (len(tuple(basis)), context.poly_degree)
+        return cls(context, np.zeros(shape, dtype=np.uint64), basis)
+
+    @classmethod
+    def from_int_coeffs(cls, context, coeffs, basis):
+        """Build a polynomial from (possibly signed, big) integer coefficients.
+
+        ``coeffs`` is any sequence of Python ints of length ``N``; each is
+        reduced into every modulus of ``basis``.
+        """
+        basis = tuple(basis)
+        n = context.poly_degree
+        if len(coeffs) != n:
+            raise ValueError(f"expected {n} coefficients, got {len(coeffs)}")
+        data = np.empty((len(basis), n), dtype=np.uint64)
+        for row, idx in enumerate(basis):
+            q = context.moduli[idx]
+            data[row] = np.array([int(c) % q for c in coeffs], dtype=np.uint64)
+        return cls(context, data, basis)
+
+    @classmethod
+    def random_uniform(cls, context, basis, rng):
+        """Uniformly random polynomial (the ``a`` component of ciphertexts)."""
+        basis = tuple(basis)
+        n = context.poly_degree
+        data = np.empty((len(basis), n), dtype=np.uint64)
+        # A single uniform big sample per coefficient would be more faithful,
+        # but independent per-limb sampling is statistically identical for a
+        # uniform distribution over the CRT product.
+        for row, idx in enumerate(basis):
+            data[row] = rng.integers(
+                0, context.moduli[idx], n, dtype=np.uint64
+            )
+        return cls(context, data, basis)
+
+    @classmethod
+    def random_ternary(cls, context, basis, rng, hamming_weight=None):
+        """Random ternary polynomial in {-1, 0, 1} (secret keys)."""
+        n = context.poly_degree
+        if hamming_weight is None:
+            coeffs = rng.integers(-1, 2, n)
+        else:
+            coeffs = np.zeros(n, dtype=np.int64)
+            positions = rng.choice(n, size=hamming_weight, replace=False)
+            coeffs[positions] = rng.choice([-1, 1], size=hamming_weight)
+        return cls.from_int_coeffs(context, [int(c) for c in coeffs], basis)
+
+    @classmethod
+    def random_error(cls, context, basis, rng, stddev=3.2):
+        """Discrete-Gaussian-style error polynomial."""
+        n = context.poly_degree
+        coeffs = np.rint(rng.normal(0.0, stddev, n)).astype(np.int64)
+        return cls.from_int_coeffs(context, [int(c) for c in coeffs], basis)
+
+    # ------------------------------------------------------------------
+    # Basic ring arithmetic
+    # ------------------------------------------------------------------
+
+    def _check_compatible(self, other):
+        # Contexts are compatible when they describe the same ring —
+        # identity is the fast path; structural equality covers contexts
+        # rebuilt from serialized parameters (client/server settings).
+        if self.context is not other.context and (
+            self.context.poly_degree != other.context.poly_degree
+            or self.context.moduli != other.context.moduli
+        ):
+            raise ValueError("polynomials belong to different rings")
+        if self.basis != other.basis:
+            raise ValueError(
+                f"basis mismatch: {self.basis} vs {other.basis}"
+            )
+
+    def _moduli_column(self):
+        return np.array(
+            [self.context.moduli[i] for i in self.basis], dtype=np.uint64
+        )[:, None]
+
+    def add(self, other):
+        """Return ``self + other``."""
+        self._check_compatible(other)
+        q = self._moduli_column()
+        return RnsPoly(self.context, (self.data + other.data) % q, self.basis)
+
+    def sub(self, other):
+        """Return ``self - other``."""
+        self._check_compatible(other)
+        q = self._moduli_column()
+        return RnsPoly(
+            self.context, (self.data + q - other.data) % q, self.basis
+        )
+
+    def negate(self):
+        """Return ``-self``."""
+        q = self._moduli_column()
+        return RnsPoly(self.context, (q - self.data) % q, self.basis)
+
+    def multiply(self, other):
+        """Negacyclic product ``self * other`` (limb-wise NTT multiply)."""
+        self._check_compatible(other)
+        out = np.empty_like(self.data)
+        for row, idx in enumerate(self.basis):
+            ntt = self.context.ntts[idx]
+            out[row] = ntt.negacyclic_multiply(self.data[row], other.data[row])
+        return RnsPoly(self.context, out, self.basis)
+
+    def multiply_scalar(self, scalar):
+        """Return ``self * scalar`` for an integer scalar."""
+        out = np.empty_like(self.data)
+        for row, idx in enumerate(self.basis):
+            q = self.context.moduli[idx]
+            s = np.uint64(int(scalar) % q)
+            out[row] = self.data[row] * s % np.uint64(q)
+        return RnsPoly(self.context, out, self.basis)
+
+    # ------------------------------------------------------------------
+    # Automorphisms (rotations / conjugation)
+    # ------------------------------------------------------------------
+
+    def automorphism(self, galois_element):
+        """Apply ``X -> X**galois_element`` (``galois_element`` odd).
+
+        This is what Hydra's Automorphism unit computes with pure index
+        wiring: coefficient ``i`` lands at index ``g*i mod 2N`` with a sign
+        flip when the product wraps an odd number of times.
+        """
+        n = self.context.poly_degree
+        g = int(galois_element) % (2 * n)
+        if g % 2 == 0:
+            raise ValueError(f"galois element must be odd, got {galois_element}")
+        idx = np.arange(n, dtype=np.int64)
+        target = idx * g % (2 * n)
+        dest = target % n
+        flip = (target >= n)
+        out = np.zeros_like(self.data)
+        q = self._moduli_column()
+        values = self.data
+        negated = (q - values) % q
+        for row in range(values.shape[0]):
+            out[row, dest[~flip]] = values[row, idx[~flip]]
+            out[row, dest[flip]] = negated[row, idx[flip]]
+        return RnsPoly(self.context, out, self.basis)
+
+    # ------------------------------------------------------------------
+    # Basis management: extension, rescale, mod-down
+    # ------------------------------------------------------------------
+
+    def extend_basis(self, extra_indices):
+        """Fast base extension: add limbs for ``extra_indices`` (mod-up)."""
+        extra = tuple(extra_indices)
+        if any(i in self.basis for i in extra):
+            raise ValueError("extension indices overlap the current basis")
+        converted = self.context.base_convert(self.data, self.basis, extra)
+        data = np.concatenate([self.data, converted], axis=0)
+        return RnsPoly(self.context, data, self.basis + extra)
+
+    def keep_basis(self, indices):
+        """Project onto a sub-basis (drop limbs; no value change mod kept q)."""
+        indices = tuple(indices)
+        rows = [self.basis.index(i) for i in indices]
+        return RnsPoly(self.context, self.data[rows].copy(), indices)
+
+    def rescale_by_last(self):
+        """Exact divide-and-round by the last modulus in the basis.
+
+        Computes ``(x - [x]_{q_last}) / q_last`` in every remaining limb,
+        using the centered representative of the dropped limb so the result
+        is the correctly rounded quotient up to ±1.
+        """
+        if len(self.basis) < 2:
+            raise ValueError("cannot rescale a single-limb polynomial")
+        last_idx = self.basis[-1]
+        q_last = self.context.moduli[last_idx]
+        # Centered lift of the dropped residue: r in (-q_last/2, q_last/2].
+        last_signed = self.data[-1].astype(np.int64)
+        r = np.where(last_signed > q_last // 2, last_signed - q_last, last_signed)
+        out_basis = self.basis[:-1]
+        out = np.empty((len(out_basis), self.context.poly_degree), np.uint64)
+        for row, idx in enumerate(out_basis):
+            q = self.context.moduli[idx]
+            qu = np.uint64(q)
+            inv = np.uint64(mod_inverse(q_last % q, q))
+            r_mod_q = np.mod(r, q).astype(np.uint64)
+            diff = (self.data[row] + qu - r_mod_q) % qu
+            out[row] = diff * inv % qu
+        return RnsPoly(self.context, out, out_basis)
+
+    def mod_down_by(self, special_indices):
+        """Divide by the product of the special moduli (keyswitch mod-down).
+
+        ``self`` must contain ``special_indices`` as its trailing limbs.
+        Returns the polynomial ``round(self / P)`` in the remaining basis.
+        """
+        special = tuple(special_indices)
+        if self.basis[-len(special):] != special:
+            raise ValueError(
+                f"special indices {special} are not the trailing limbs of "
+                f"basis {self.basis}"
+            )
+        keep = self.basis[: -len(special)]
+        p_part = self.data[-len(special):]
+        converted = self.context.base_convert(p_part, special, keep)
+        big_p = self.context.modulus_product(special)
+        out = np.empty((len(keep), self.context.poly_degree), np.uint64)
+        for row, idx in enumerate(keep):
+            q = self.context.moduli[idx]
+            qu = np.uint64(q)
+            inv = np.uint64(mod_inverse(big_p % q, q))
+            diff = (self.data[row] + qu - converted[row] % qu) % qu
+            out[row] = diff * inv % qu
+        return RnsPoly(self.context, out, keep)
+
+    # ------------------------------------------------------------------
+    # Reconstruction (for decoding / debugging)
+    # ------------------------------------------------------------------
+
+    def to_int_coeffs(self, centered=True):
+        """CRT-reconstruct the coefficients as Python ints.
+
+        With ``centered=True`` coefficients land in ``(-Q/2, Q/2]``.
+        """
+        big_q = self.context.modulus_product(self.basis)
+        n = self.context.poly_degree
+        total = np.zeros(n, dtype=object)
+        for row, idx in enumerate(self.basis):
+            q = self.context.moduli[idx]
+            qhat = big_q // q
+            qhat_inv = mod_inverse(qhat % q, q)
+            factor = qhat * qhat_inv
+            total = total + self.data[row].astype(object) * factor
+        total = total % big_q
+        if centered:
+            total = np.array(
+                [c - big_q if c > big_q // 2 else c for c in total],
+                dtype=object,
+            )
+        return total
+
+    def __repr__(self):
+        return (
+            f"RnsPoly(degree={self.context.poly_degree}, "
+            f"limbs={len(self.basis)}, basis={self.basis})"
+        )

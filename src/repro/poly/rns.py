@@ -1,0 +1,170 @@
+"""The RNS moduli chain and fast base conversion.
+
+A CKKS context owns one :class:`RnsContext` holding the ordered list of
+primes ``[q_0, ..., q_L, p_0, ..., p_{k-1}]`` (data moduli followed by
+special keyswitching moduli), a negacyclic NTT per prime, and the constants
+needed for the HPS-style approximate base conversion used in keyswitching
+(mod-up to the extended basis and mod-down by the special product ``P``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.math.modular import mod_inverse
+from repro.math.ntt import NttContext
+from repro.math.primes import find_ntt_primes
+
+__all__ = ["RnsContext"]
+
+
+class RnsContext:
+    """Moduli chain with per-prime NTT tables and base-conversion constants.
+
+    Parameters
+    ----------
+    poly_degree:
+        Ring dimension ``N`` (power of two).
+    data_moduli:
+        The ciphertext moduli ``q_0 .. q_L`` (ordered; ``q_0`` first).
+    special_moduli:
+        The keyswitch extension moduli ``p_0 .. p_{k-1}``.
+    """
+
+    def __init__(self, poly_degree, data_moduli, special_moduli):
+        self.poly_degree = int(poly_degree)
+        self.data_moduli = tuple(int(q) for q in data_moduli)
+        self.special_moduli = tuple(int(p) for p in special_moduli)
+        self.moduli = self.data_moduli + self.special_moduli
+        if len(set(self.moduli)) != len(self.moduli):
+            raise ValueError("moduli chain contains duplicates")
+        self.ntts = tuple(NttContext(self.poly_degree, q) for q in self.moduli)
+        self.data_indices = tuple(range(len(self.data_moduli)))
+        self.special_indices = tuple(
+            range(len(self.data_moduli), len(self.moduli))
+        )
+        self._conv_cache = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        poly_degree,
+        first_modulus_bits,
+        scale_modulus_bits,
+        num_scale_moduli,
+        special_modulus_bits=None,
+        num_special_moduli=1,
+    ):
+        """Build a chain ``[q_0, scale primes..., special primes...]``.
+
+        ``q_0`` is the wide base modulus that survives to level 0;
+        the scale primes sit near ``2**scale_modulus_bits`` so rescaling
+        divides out almost exactly one scale factor.
+        """
+        if special_modulus_bits is None:
+            special_modulus_bits = first_modulus_bits
+        first = find_ntt_primes(poly_degree, first_modulus_bits, 1)
+        scales = find_ntt_primes(
+            poly_degree, scale_modulus_bits, num_scale_moduli, exclude=first
+        )
+        specials = find_ntt_primes(
+            poly_degree,
+            special_modulus_bits,
+            num_special_moduli,
+            exclude=tuple(first) + tuple(scales),
+        )
+        return cls(poly_degree, first + scales, specials)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def modulus_product(self, indices):
+        """Return the product of the moduli at ``indices`` as a Python int."""
+        prod = 1
+        for i in indices:
+            prod *= self.moduli[i]
+        return prod
+
+    def log2_modulus_product(self, indices):
+        """Return ``log2`` of the product of moduli at ``indices``."""
+        total = 0.0
+        for i in indices:
+            total += float(np.log2(self.moduli[i]))
+        return total
+
+    # ------------------------------------------------------------------
+    # Fast (HPS) base conversion
+    # ------------------------------------------------------------------
+
+    def _conversion_tables(self, from_idx, to_idx):
+        """Precompute and cache the constants for ``from_idx -> to_idx``.
+
+        Returns ``(qhat_inv, qhat_mod_target, prod_mod_target, from_moduli)``
+        where ``qhat_inv[i] = (Q/q_i)^{-1} mod q_i`` and
+        ``qhat_mod_target[i][j] = (Q/q_i) mod t_j``.
+        """
+        key = (tuple(from_idx), tuple(to_idx))
+        cached = self._conv_cache.get(key)
+        if cached is not None:
+            return cached
+        from_moduli = [self.moduli[i] for i in from_idx]
+        to_moduli = [self.moduli[j] for j in to_idx]
+        big_q = 1
+        for q in from_moduli:
+            big_q *= q
+        qhat = [big_q // q for q in from_moduli]
+        qhat_inv = np.array(
+            [mod_inverse(h % q, q) for h, q in zip(qhat, from_moduli)],
+            dtype=np.uint64,
+        )
+        qhat_mod_target = np.array(
+            [[h % t for t in to_moduli] for h in qhat], dtype=np.uint64
+        )
+        prod_mod_target = np.array([big_q % t for t in to_moduli], dtype=np.uint64)
+        tables = (qhat_inv, qhat_mod_target, prod_mod_target, from_moduli)
+        self._conv_cache[key] = tables
+        return tables
+
+    def base_convert(self, data, from_idx, to_idx):
+        """Approximately convert residues between RNS bases.
+
+        ``data`` has shape ``(len(from_idx), N)``.  Returns an array of shape
+        ``(len(to_idx), N)`` holding the residues of the *centered*
+        representative of the input modulo each target modulus, using the
+        HPS floating-point correction for the multiple-of-Q overshoot.  The
+        result can be off by a small additive error (bounded by the number
+        of source limbs), which is absorbed by CKKS noise — exactly the
+        approximation FHE hardware implements.
+        """
+        data = np.asarray(data, dtype=np.uint64)
+        if data.shape[0] != len(from_idx):
+            raise ValueError(
+                f"data has {data.shape[0]} limbs, basis has {len(from_idx)}"
+            )
+        qhat_inv, qhat_mod_target, prod_mod_target, from_moduli = (
+            self._conversion_tables(from_idx, to_idx)
+        )
+        n = self.poly_degree
+        # t_i = x_i * (Q/q_i)^{-1} mod q_i
+        t = np.empty_like(data)
+        frac = np.zeros(n, dtype=np.float64)
+        for i, q in enumerate(from_moduli):
+            qi = np.uint64(q)
+            t[i] = data[i] * qhat_inv[i] % qi
+            frac += t[i].astype(np.float64) / q
+        # v counts how many multiples of Q the CRT sum overshoots by.
+        v = np.rint(frac).astype(np.uint64)
+        out = np.zeros((len(to_idx), n), dtype=np.uint64)
+        for j, idx in enumerate(to_idx):
+            pj = np.uint64(self.moduli[idx])
+            acc = np.zeros(n, dtype=np.uint64)
+            for i in range(len(from_moduli)):
+                acc = (acc + t[i] * qhat_mod_target[i, j] % pj) % pj
+            correction = v * prod_mod_target[j] % pj
+            out[j] = (acc + pj - correction) % pj
+        return out

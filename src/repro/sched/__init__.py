@@ -1,0 +1,49 @@
+"""Task decomposition and mapping strategies (paper Section III).
+
+Each mapper turns one DL-inference step into per-card task programs:
+
+* :mod:`repro.sched.conv` — ConvBN / Pooling / PCMM / CCMM / FC kernel
+  partitioning with chunked result broadcast overlapped with computation
+  (paper Figs. 1-2).
+* :mod:`repro.sched.fc` — BSGS matrix-vector distribution with tree
+  aggregation (paper Fig. 3(d), Eq. 1).
+* :mod:`repro.sched.nonlinear` — Algorithm 1: balanced polynomial
+  evaluation trees across cards.
+* :mod:`repro.sched.bootstrap` — bootstrapping: DFT radix/bs/gs parameter
+  optimization (Table V) and the C2S → EvalExp → DAF → S2C pipeline.
+* :mod:`repro.sched.groups` — card-group partitioning for outer
+  (per-ciphertext) parallelism.
+* :mod:`repro.sched.planner` — walks a model graph, maps every step, runs
+  the simulator with the Procedure-2 step barrier, and aggregates
+  per-procedure statistics.
+"""
+
+from repro.sched.bootstrap import (
+    DftParameters,
+    choose_boot_group_size,
+    dft_time_model,
+    estimate_bootstrap_time,
+    map_bootstrap,
+    optimal_dft_parameters,
+)
+from repro.sched.conv import map_distributed_units
+from repro.sched.fc import map_bsgs_matvec
+from repro.sched.groups import group_assignments, partition_groups
+from repro.sched.nonlinear import map_polynomial_tree
+from repro.sched.planner import ModelRunResult, Planner
+
+__all__ = [
+    "DftParameters",
+    "ModelRunResult",
+    "Planner",
+    "choose_boot_group_size",
+    "dft_time_model",
+    "estimate_bootstrap_time",
+    "group_assignments",
+    "map_bootstrap",
+    "map_bsgs_matvec",
+    "map_distributed_units",
+    "map_polynomial_tree",
+    "optimal_dft_parameters",
+    "partition_groups",
+]

@@ -1,0 +1,97 @@
+"""BSGS matrix-vector mapping with tree aggregation (paper Fig. 3(d)).
+
+One homomorphic matrix-vector multiplication decomposes into a Baby-Step
+phase (``bs`` ciphertext rotations whose results every giant step reuses)
+and a Giant-Step phase (``gs`` independent multiply-accumulate-rotate
+blocks).  Following the paper's analysis:
+
+* the baby steps are **replicated on every card** — distributing them
+  would force an all-to-all aggregation before any giant step can start;
+* the giant steps split evenly (``gs_s = gs / n`` per card);
+* partial sums are aggregated in a **tree** (``log2 n`` rounds of
+  transfer + HAdd), not funneled into one card.
+
+This kernel is the FC layer and the per-level DFT matvec inside
+bootstrapping; Eq. 1 is its closed-form cost, reproduced in
+:func:`repro.sched.bootstrap.dft_time_model`.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["map_bsgs_matvec"]
+
+
+def map_bsgs_matvec(
+    builder,
+    cost,
+    nodes,
+    level,
+    bs,
+    gs,
+    tag,
+    broadcast_result=True,
+    work_scale=1.0,
+):
+    """Emit one BSGS matvec onto the card group ``nodes``.
+
+    Returns the compute-queue index (on ``nodes[0]``) of the task that
+    produces the final result, so callers can chain sends after it.
+    """
+    if bs < 1 or gs < 1:
+        raise ValueError(f"bs and gs must be >= 1, got bs={bs}, gs={gs}")
+    n = len(nodes)
+    if n & (n - 1):
+        raise ValueError(f"group size must be a power of two, got {n}")
+    ct_bytes = cost.ciphertext_bytes(level)
+    rot = cost.rotation(level)
+    pmult = cost.pmult(level)
+    hadd = cost.hadd(level)
+    gs_s = math.ceil(gs / n)
+
+    # Baby steps, replicated on every card of the group.
+    bs_components = rot.scaled(bs * work_scale)
+    # Giant steps: each is bs PMults + (bs-1) HAdds + one rotation (Eq. 1).
+    gs_step = (
+        pmult.scaled(bs) + hadd.scaled(max(0, bs - 1)) + rot
+    ).scaled(work_scale)
+    # Local accumulation of this card's gs_s partial results.
+    local_acc = hadd.scaled(max(0, gs_s - 1) * work_scale)
+
+    last_idx = {}
+    for node in nodes:
+        builder.compute(node, bs_components.seconds, tag=tag,
+                        components=bs_components)
+        builder.compute(node, gs_step.seconds * gs_s, tag=tag,
+                        components=gs_step.scaled(gs_s))
+        last_idx[node] = builder.compute(
+            node, local_acc.seconds, tag=tag, components=local_acc
+        )
+
+    # Tree aggregation: upper half sends to lower half, receivers HAdd.
+    active = list(nodes)
+    while len(active) > 1:
+        half = len(active) // 2
+        for i in range(half):
+            dst = active[i]
+            src = active[i + half]
+            builder.transfer(src, dst, ct_bytes, after=last_idx[src],
+                             tag=tag)
+            merged = hadd.scaled(work_scale)
+            last_idx[dst] = builder.compute(
+                dst, merged.seconds, tag=tag, needs_recv=True,
+                components=merged,
+            )
+        active = active[:half]
+
+    root = active[0]
+    if broadcast_result and n > 1:
+        others = [node for node in nodes if node != root]
+        builder.multicast(root, others, ct_bytes, after=last_idx[root],
+                          tag=tag)
+        for node in others:
+            last_idx[node] = builder.compute(
+                node, 0.0, tag=tag, needs_recv=True
+            )
+    return last_idx[root]

@@ -1,0 +1,68 @@
+"""Card-group partitioning for application-level (outer) parallelism.
+
+Paper Section III: when a step contains ``n`` independent ciphertext-level
+jobs (bootstraps of different ciphertexts, polynomial evaluations of
+different activations), the cards split into groups, each group
+accelerating one job internally.  With more jobs than cards, jobs queue on
+cards round-robin and no intra-job distribution (or communication) is
+needed.
+"""
+
+from __future__ import annotations
+
+__all__ = ["partition_groups", "jobs_per_node"]
+
+
+def _largest_power_of_two_at_most(n):
+    p = 1
+    while p * 2 <= n:
+        p *= 2
+    return p
+
+
+def partition_groups(num_nodes, num_jobs):
+    """Split ``num_nodes`` cards into groups for ``num_jobs`` jobs.
+
+    Returns ``(groups, rounds)``: ``groups`` is a list of node-index lists
+    (one per concurrently executing job), ``rounds`` is how many sequential
+    batches of jobs are needed.  Group sizes are powers of two so the
+    tree-structured aggregation and Algorithm-1 mappings apply directly.
+    """
+    if num_nodes < 1 or num_jobs < 1:
+        raise ValueError("need at least one node and one job")
+    if num_jobs >= num_nodes:
+        # One job (or more) per card: every card is its own group.
+        groups = [[n] for n in range(num_nodes)]
+        rounds = -(-num_jobs // num_nodes)
+        return groups, rounds
+    group_size = _largest_power_of_two_at_most(num_nodes // num_jobs)
+    groups = []
+    start = 0
+    for _ in range(num_jobs):
+        groups.append(list(range(start, start + group_size)))
+        start += group_size
+    return groups, 1
+
+
+def jobs_per_node(num_nodes, num_jobs):
+    """Jobs the busiest card executes when jobs outnumber cards."""
+    return -(-num_jobs // num_nodes)
+
+
+def group_assignments(num_nodes, num_jobs):
+    """Exact job assignment: list of ``(group_nodes, job_count)``.
+
+    With fewer jobs than cards, each job gets a power-of-two card group
+    (count 1); otherwise each card is a singleton group executing its
+    round-robin share of jobs sequentially.
+    """
+    groups, _ = partition_groups(num_nodes, num_jobs)
+    if num_jobs < num_nodes:
+        return [(g, 1) for g in groups]
+    base = num_jobs // num_nodes
+    extra = num_jobs % num_nodes
+    return [
+        (group, base + (1 if i < extra else 0))
+        for i, group in enumerate(groups)
+        if base + (1 if i < extra else 0) > 0
+    ]

@@ -1,0 +1,132 @@
+"""Algorithm 1: polynomial evaluation mapped across acceleration nodes.
+
+Non-linear layers (ReLU, GeLU, Softmax) and the EvaExp stage of
+bootstrapping evaluate polynomials via a balanced computation tree
+(paper Fig. 3(a)).  Algorithm 1 splits that tree across cards:
+
+1. every active card squares ``x``;
+2. the power chain ``x^(2^(j+1))`` shrinks over the cards with smaller
+   indices, each round sending the fresh power to a card that dropped out
+   (balancing CMult counts, per the Fig. 3(a) discussion);
+3. all cards evaluate their share of sub-polynomials
+   (``add_and_multiply_const``) and fold them pairwise
+   (``multiply_and_add``), consuming received powers where needed;
+4. partial results aggregate to card 0 in a tree
+   (``multiply_and_send`` / ``receive_and_add``).
+
+Sub-polynomials of degree <= 4 are never decomposed (the communication
+would outweigh the compute), so ``tree_depth = min(poly_depth - 2,
+card_depth)`` exactly as the pseudocode states.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["map_polynomial_tree", "polynomial_tree_depth"]
+
+
+def polynomial_tree_depth(degree, num_cards):
+    """``tree_depth`` from Algorithm 1."""
+    poly_depth = math.ceil(math.log2(degree + 1))
+    card_depth = int(math.log2(num_cards)) if num_cards > 1 else 0
+    return max(0, min(poly_depth - 2, card_depth))
+
+
+def map_polynomial_tree(
+    builder,
+    cost,
+    nodes,
+    degree,
+    level,
+    tag,
+    work_scale=1.0,
+):
+    """Emit Algorithm 1 for one polynomial evaluation on ``nodes``.
+
+    Returns the compute index (on ``nodes[0]``) of the final result task.
+    """
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    poly_depth = math.ceil(math.log2(degree + 1))
+    tree_depth = polynomial_tree_depth(degree, len(nodes))
+    card_num = 2 ** tree_depth
+    active = nodes[:card_num]
+
+    cmult = cost.cmult(level).scaled(work_scale)
+    pmult = cost.pmult(level).scaled(work_scale)
+    hadd = cost.hadd(level).scaled(work_scale)
+    ct_bytes = cost.ciphertext_bytes(level)
+
+    if card_num == 1:
+        # Single-card evaluation: the whole tree runs locally.
+        root = nodes[0]
+        mults = max(1, degree - 1)
+        comps = cmult.scaled(mults) + pmult.scaled(degree) + hadd.scaled(degree)
+        return builder.compute(root, comps.seconds, tag=tag,
+                               components=comps)
+
+    last_idx = {}
+    pending_recvs = {node: 0 for node in active}
+
+    # Phase 1: x^2 everywhere, then the shrinking power chain.
+    for node in active:
+        last_idx[node] = builder.compute(node, cmult.seconds, tag=tag,
+                                         components=cmult)
+    for j in range(1, poly_depth - 1):
+        alive = 2 ** (tree_depth - j)
+        if alive < 1:
+            break
+        for i in range(alive):
+            node = active[i]
+            last_idx[node] = builder.compute(node, cmult.seconds, tag=tag,
+                                             components=cmult)
+            partner_pos = i + alive
+            if partner_pos < card_num:
+                partner = active[partner_pos]
+                builder.transfer(node, partner, ct_bytes,
+                                 after=last_idx[node], tag=tag)
+                pending_recvs[partner] += 1
+
+    # Phase 2: shared sub-polynomial work on every card.  k as in Alg. 1.
+    k = max(0, poly_depth - tree_depth - 2)
+    shared = (hadd + pmult).scaled(2 ** (k + 1))
+    for node in active:
+        # Consume any power ciphertexts received in phase 1 before the
+        # fold that needs them.
+        first_fold = True
+        builder.compute(node, shared.seconds, tag=tag, components=shared)
+        for j in range(k + 1):
+            fold = (cmult + hadd).scaled(2 ** (k - j))
+            needs = pending_recvs[node] > 0 and first_fold
+            if needs:
+                pending_recvs[node] -= 1
+                first_fold = False
+            last_idx[node] = builder.compute(
+                node, fold.seconds, tag=tag, needs_recv=needs,
+                components=fold,
+            )
+        while pending_recvs[node] > 0:
+            # Drain any remaining received powers into the fold chain.
+            pending_recvs[node] -= 1
+            last_idx[node] = builder.compute(
+                node, (cmult + hadd).seconds, tag=tag, needs_recv=True,
+                components=cmult + hadd,
+            )
+
+    # Phase 3: tree aggregation to card 0 (multiply_and_send /
+    # receive_and_add).
+    alive = card_num
+    while alive > 1:
+        alive //= 2
+        for i in range(alive):
+            dst = active[i]
+            src = active[i + alive]
+            send_prep = builder.compute(src, cmult.seconds, tag=tag,
+                                        components=cmult)
+            builder.transfer(src, dst, ct_bytes, after=send_prep, tag=tag)
+            last_idx[dst] = builder.compute(
+                dst, hadd.seconds, tag=tag, needs_recv=True,
+                components=hadd,
+            )
+    return last_idx[active[0]]

@@ -1,0 +1,49 @@
+"""Discrete-event simulation of the scale-out accelerator system.
+
+The scheduler emits one :class:`~repro.sim.program.NodeProgram` per card —
+an ordered compute-task queue and an ordered communication-task queue,
+exactly the two hardware queues of paper Fig. 5.  The engine executes them
+under the Procedure-1 handshake semantics:
+
+* compute tasks are data-independent (``CT_i``) or data-dependent
+  (``CT_d``, waits for the next unconsumed receive completion);
+* send tasks wait for the finish signal of the compute task that produced
+  their data (Send-After-Compute) and for the receiver's ready signal;
+* receive tasks configure the DMA, signal ready, then block until
+  delivery (Compute-After-Receive is enforced through the recv FIFO).
+
+Fabrics model the two interconnects the paper compares: Hydra's
+DTU + switch (direct card-to-card, true broadcast) and FAB's host-mediated
+PCIe + LAN path.
+"""
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.fabrics import FabHostFabric, HydraSwitchFabric, build_fabric
+from repro.sim.program import (
+    BROADCAST,
+    ComputeTask,
+    NodeProgram,
+    ProgramBuilder,
+    RecvTask,
+    SendTask,
+)
+from repro.sim.result import SimResult, TraceEvent
+from repro.sim.validate import ProgramValidationError, validate_programs
+
+__all__ = [
+    "BROADCAST",
+    "ComputeTask",
+    "FabHostFabric",
+    "HydraSwitchFabric",
+    "NodeProgram",
+    "ProgramBuilder",
+    "ProgramValidationError",
+    "RecvTask",
+    "SendTask",
+    "SimResult",
+    "SimulationError",
+    "Simulator",
+    "TraceEvent",
+    "build_fabric",
+    "validate_programs",
+]

@@ -1,0 +1,103 @@
+"""Simulation results and accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimResult", "NodeStats", "TraceEvent"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded interval of simulated activity (for Gantt views)."""
+
+    node: int
+    kind: str  # "compute" | "send" | "recv"
+    tag: str
+    start: float
+    end: float
+
+    @property
+    def duration(self):
+        return self.end - self.start
+
+
+@dataclass
+class NodeStats:
+    """Per-card accounting."""
+
+    compute_busy: float = 0.0
+    comm_busy: float = 0.0
+    compute_done_at: float = 0.0
+    comm_done_at: float = 0.0
+    tasks_executed: int = 0
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated task step (or a whole model run)."""
+
+    makespan: float = 0.0
+    nodes: list = field(default_factory=list)
+    #: compute busy seconds per tag, summed over all nodes
+    tag_compute: dict = field(default_factory=dict)
+    #: exposed (critical-path) seconds per tag: max over nodes per step
+    tag_span: dict = field(default_factory=dict)
+    bytes_transferred: float = 0.0
+    transfers: int = 0
+    #: accumulated OpComponents for energy accounting (may be None)
+    components_total: object = None
+    #: recorded TraceEvents (only when the simulator ran with trace=True)
+    trace: list = field(default_factory=list)
+
+    @property
+    def num_nodes(self):
+        return len(self.nodes)
+
+    @property
+    def total_compute_busy(self):
+        return sum(n.compute_busy for n in self.nodes)
+
+    @property
+    def mean_compute_busy(self):
+        if not self.nodes:
+            return 0.0
+        return self.total_compute_busy / len(self.nodes)
+
+    @property
+    def comm_overhead_fraction(self):
+        """Share of the makespan not covered by average compute busy time.
+
+        This is the "communication overhead" of paper Fig. 8/9: everything
+        on the critical path that is not computation — exposed transfers,
+        handshake waits, and load imbalance introduced by distribution.
+        """
+        if self.makespan <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.mean_compute_busy / self.makespan)
+
+    def merge_sequential(self, other):
+        """Append a later step executed after a barrier (Procedure 2)."""
+        if not self.nodes:
+            self.nodes = [NodeStats() for _ in other.nodes]
+        if len(self.nodes) != len(other.nodes):
+            raise ValueError("cannot merge results with different node counts")
+        self.makespan += other.makespan
+        for mine, theirs in zip(self.nodes, other.nodes):
+            mine.compute_busy += theirs.compute_busy
+            mine.comm_busy += theirs.comm_busy
+            mine.tasks_executed += theirs.tasks_executed
+        for tag, sec in other.tag_compute.items():
+            self.tag_compute[tag] = self.tag_compute.get(tag, 0.0) + sec
+        for tag, sec in other.tag_span.items():
+            self.tag_span[tag] = self.tag_span.get(tag, 0.0) + sec
+        self.bytes_transferred += other.bytes_transferred
+        self.transfers += other.transfers
+        if other.components_total is not None:
+            if self.components_total is None:
+                self.components_total = other.components_total
+            else:
+                self.components_total = (
+                    self.components_total + other.components_total
+                )
+        return self

@@ -1,0 +1,115 @@
+"""Static validation of node-program sets.
+
+The engine detects deadlocks dynamically; this validator catches the same
+classes of scheduling bugs *before* simulation, with better diagnostics:
+
+* unmatched send/receive pairs on any (src, dst) channel;
+* sends depending on out-of-range compute indices;
+* more receive-consuming compute tasks (``CT_d``) than receives;
+* broadcast/multicast recv counts that disagree with destinations.
+
+Hydra's host software performs exactly this check when it compiles task
+instructions (paper Section IV-D: dependencies are embedded in the
+instructions, so a mismatch is a compile-time error, not a hang).
+"""
+
+from __future__ import annotations
+
+from repro.sim.program import BROADCAST, RecvTask, SendTask
+
+__all__ = ["validate_programs", "ProgramValidationError"]
+
+
+class ProgramValidationError(ValueError):
+    """Raised when a program set cannot possibly execute correctly."""
+
+
+def validate_programs(programs):
+    """Validate a program set; raises ProgramValidationError on defects.
+
+    Returns a dict of summary statistics when valid:
+    ``{"compute_tasks", "sends", "recvs", "bytes"}``.
+    """
+    n = len(programs)
+    sends = {}
+    recvs = {}
+    total_compute = 0
+    total_sends = 0
+    total_recvs = 0
+    total_bytes = 0.0
+    errors = []
+
+    for node, program in enumerate(programs):
+        needs = sum(1 for t in program.compute if t.needs_recv)
+        node_recvs = 0
+        total_compute += len(program.compute)
+        for pos, task in enumerate(program.comm):
+            if isinstance(task, SendTask):
+                total_sends += 1
+                if (task.after_compute is not None
+                        and not 0 <= task.after_compute
+                        < len(program.compute)):
+                    errors.append(
+                        f"node {node} comm[{pos}]: send depends on "
+                        f"compute[{task.after_compute}] but only "
+                        f"{len(program.compute)} compute tasks exist"
+                    )
+                if task.dst == BROADCAST:
+                    dsts = [d for d in range(n) if d != node]
+                elif isinstance(task.dst, tuple):
+                    dsts = list(task.dst)
+                else:
+                    dsts = [task.dst]
+                for dst in dsts:
+                    if not 0 <= dst < n:
+                        errors.append(
+                            f"node {node} comm[{pos}]: destination {dst} "
+                            f"out of range"
+                        )
+                        continue
+                    if dst == node:
+                        errors.append(
+                            f"node {node} comm[{pos}]: sends to itself"
+                        )
+                        continue
+                    sends[(node, dst)] = sends.get((node, dst), 0) + 1
+                    total_bytes += task.size
+            elif isinstance(task, RecvTask):
+                total_recvs += 1
+                node_recvs += 1
+                if not 0 <= task.src < n or task.src == node:
+                    errors.append(
+                        f"node {node} comm[{pos}]: invalid source "
+                        f"{task.src}"
+                    )
+                    continue
+                recvs[(task.src, node)] = recvs.get((task.src, node), 0) + 1
+            else:
+                errors.append(
+                    f"node {node} comm[{pos}]: unknown task {task!r}"
+                )
+        if needs > node_recvs:
+            errors.append(
+                f"node {node}: {needs} data-dependent compute tasks but "
+                f"only {node_recvs} receives"
+            )
+
+    for channel in sorted(set(sends) | set(recvs)):
+        s = sends.get(channel, 0)
+        r = recvs.get(channel, 0)
+        if s != r:
+            errors.append(
+                f"channel {channel[0]}->{channel[1]}: {s} sends vs "
+                f"{r} receives"
+            )
+
+    if errors:
+        shown = "; ".join(errors[:6])
+        more = "" if len(errors) <= 6 else f" (+{len(errors) - 6} more)"
+        raise ProgramValidationError(shown + more)
+    return {
+        "compute_tasks": total_compute,
+        "sends": total_sends,
+        "recvs": total_recvs,
+        "bytes": total_bytes,
+    }

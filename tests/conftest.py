@@ -1,0 +1,98 @@
+"""Shared fixtures: session-scoped CKKS contexts and key material.
+
+Key generation is the expensive part of the functional tests, so a single
+context + key set is shared per parameter regime across the whole session.
+Tests never mutate ciphertexts in place (the API forbids it), so sharing
+is safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckks import (
+    BootstrapKeys,
+    Bootstrapper,
+    CkksContext,
+    CkksParameters,
+    Decryptor,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+    toy_parameters,
+)
+
+
+class CkksFixture:
+    """Bundle of everything a functional CKKS test needs."""
+
+    def __init__(self, params, seed=0, rotation_steps=(1, 2, 4, 8, -1)):
+        self.params = params
+        self.context = CkksContext(params)
+        self.keygen = KeyGenerator(self.context, seed=seed)
+        self.public_key = self.keygen.create_public_key()
+        self.relin_key = self.keygen.create_relin_key()
+        elements = [self.context.galois_element_for_step(s)
+                    for s in rotation_steps]
+        elements.append(self.context.conjugation_element)
+        self.galois_keys = self.keygen.create_galois_keys(elements)
+        self.encryptor = Encryptor(self.context, self.public_key, seed=seed + 1)
+        self.decryptor = Decryptor(self.context, self.keygen.secret_key)
+        self.evaluator = Evaluator(self.context)
+
+    def encrypt(self, values, **kwargs):
+        return self.encryptor.encrypt_values(values, **kwargs)
+
+    def decrypt(self, ct):
+        return self.decryptor.decrypt_values(ct)
+
+    def random_vector(self, rng, scale=0.5, complex_values=False):
+        n = self.params.slot_count
+        real = rng.normal(scale=scale, size=n)
+        if not complex_values:
+            return real
+        return real + 1j * rng.normal(scale=scale, size=n)
+
+
+@pytest.fixture(scope="session")
+def toy_fhe():
+    """N=256, 4 levels: the workhorse fixture for arithmetic tests."""
+    return CkksFixture(toy_parameters(poly_degree=256, num_scale_moduli=4))
+
+
+@pytest.fixture(scope="session")
+def deep_fhe():
+    """N=128, 8 levels: for polynomial-evaluation depth tests."""
+    return CkksFixture(toy_parameters(poly_degree=128, num_scale_moduli=8))
+
+
+@pytest.fixture(scope="session")
+def boot_fhe():
+    """N=128, sparse secret, 18 levels: bootstrapping tests."""
+    params = CkksParameters(
+        poly_degree=128,
+        first_modulus_bits=29,
+        scale_bits=25,
+        num_scale_moduli=18,
+        special_modulus_bits=30,
+        num_special_moduli=2,
+        secret_hamming_weight=4,
+    )
+    return CkksFixture(params)
+
+
+@pytest.fixture(scope="session")
+def bootstrapper(boot_fhe):
+    """A ready-to-use bootstrapper + keys on the boot_fhe fixture."""
+    bs = Bootstrapper(boot_fhe.context, boot_fhe.evaluator,
+                      taylor_degree=7, daf_iterations=6)
+    gk = boot_fhe.keygen.create_galois_keys(bs.required_galois_elements())
+    keys = BootstrapKeys(relin_key=boot_fhe.relin_key, galois_keys=gk)
+    return bs, keys
+
+
+@pytest.fixture()
+def rng():
+    # "HYDR" in ASCII — a fixed seed for reproducible randomness.
+    return np.random.default_rng(0x48594452)

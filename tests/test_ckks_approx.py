@@ -1,0 +1,83 @@
+"""Unit tests for polynomial approximations of DL non-linearities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ckks.approx import (
+    chebyshev_fit,
+    exp_coefficients,
+    gelu_coefficients,
+    inverse_sqrt_coefficients,
+    relu_coefficients,
+    sigmoid_coefficients,
+)
+
+
+def _poly_eval(coeffs, x):
+    return sum(c * x ** k for k, c in enumerate(coeffs))
+
+
+class TestChebyshevFit:
+    def test_recovers_polynomial_exactly(self):
+        coeffs = chebyshev_fit(lambda x: 1 + 2 * x + 3 * x ** 2, 4)
+        assert np.allclose(coeffs[:3], [1, 2, 3], atol=1e-9)
+        assert np.allclose(coeffs[3:], 0, atol=1e-9)
+
+    def test_nonunit_interval(self):
+        coeffs = chebyshev_fit(math.sin, 9, (-3.0, 3.0))
+        xs = np.linspace(-3, 3, 101)
+        err = max(abs(_poly_eval(coeffs, x) - math.sin(x)) for x in xs)
+        assert err < 1e-3
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            chebyshev_fit(math.sin, 0)
+        with pytest.raises(ValueError):
+            chebyshev_fit(math.sin, 5, (1.0, 1.0))
+
+
+class TestActivations:
+    @pytest.mark.parametrize("factory,reference,interval", [
+        (sigmoid_coefficients,
+         lambda x: 1 / (1 + math.exp(-x)), (-6, 6)),
+        (gelu_coefficients,
+         lambda x: 0.5 * x * (1 + math.erf(x / math.sqrt(2))), (-3, 3)),
+        (exp_coefficients, math.exp, (-1, 1)),
+    ])
+    def test_approximation_quality(self, factory, reference, interval):
+        coeffs = factory()
+        xs = np.linspace(interval[0], interval[1], 101)
+        err = max(abs(_poly_eval(coeffs, x) - reference(x)) for x in xs)
+        assert err < 0.05
+
+    def test_relu_behaviour(self):
+        coeffs = relu_coefficients(degree=9, bound=1.0)
+        # Positive inputs pass nearly unchanged; negative die out.
+        assert abs(_poly_eval(coeffs, 0.8) - 0.8) < 0.1
+        assert abs(_poly_eval(coeffs, -0.8)) < 0.1
+
+    def test_inverse_sqrt(self):
+        coeffs = inverse_sqrt_coefficients(degree=9)
+        for x in (0.3, 0.5, 1.0, 1.8):
+            assert abs(_poly_eval(coeffs, x) - 1 / math.sqrt(x)) < 0.02
+
+    def test_inverse_sqrt_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            inverse_sqrt_coefficients(7, (-1.0, 1.0))
+
+
+class TestHomomorphicActivation:
+    def test_gelu_on_encrypted_data(self, deep_fhe, rng):
+        """Run a fitted GeLU through the real evaluator."""
+        from repro.ckks import evaluate_polynomial
+        coeffs = gelu_coefficients(degree=7, bound=2.0)
+        x = rng.uniform(-2, 2, deep_fhe.params.slot_count)
+        ct = deep_fhe.encrypt(x)
+        out = evaluate_polynomial(ct, coeffs, deep_fhe.evaluator,
+                                  deep_fhe.relin_key)
+        got = deep_fhe.decrypt(out).real
+        want = 0.5 * x * (1 + np.vectorize(math.erf)(x / math.sqrt(2)))
+        # Polynomial approximation error + FHE noise.
+        assert np.max(np.abs(got - want)) < 0.08

@@ -1,0 +1,121 @@
+"""Functional tests for the CKKS bootstrapping pipeline.
+
+Bootstrapping is the most intricate FHE operation (paper Section III-B);
+these tests exercise each stage independently and the full pipeline
+end-to-end.  Tolerances are loose by design: at toy parameters the sine
+approximation and keyswitch noise dominate, and the paper's claim under
+test is structural (level refresh + approximate message preservation),
+not production precision.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckks import Bootstrapper, CkksContext, toy_parameters, Evaluator
+
+BOOT_TOL = 5e-2
+
+
+class TestStages:
+    def test_mod_raise_gains_limbs_and_declares_q0(self, boot_fhe, bootstrapper, rng):
+        bs, keys = bootstrapper
+        z = rng.normal(scale=0.3, size=boot_fhe.params.slot_count)
+        ct = boot_fhe.encrypt(z, level=0)
+        raised = bs.mod_raise(ct)
+        assert raised.level == boot_fhe.context.max_level
+        assert raised.scale == float(bs.q0)
+
+    def test_mod_raise_preserves_message_mod_q0(self, boot_fhe, bootstrapper, rng):
+        """Decrypting the raised ciphertext mod q0 recovers the message."""
+        bs, keys = bootstrapper
+        z = rng.normal(scale=0.3, size=boot_fhe.params.slot_count)
+        ct = boot_fhe.encrypt(z, level=0)
+        raised = bs.mod_raise(ct)
+        pt = boot_fhe.decryptor.decrypt(raised)
+        coeffs = pt.poly.to_int_coeffs(centered=True)
+        q0 = bs.q0
+        reduced = np.array(
+            [((int(c) + q0 // 2) % q0) - q0 // 2 for c in coeffs],
+            dtype=np.float64,
+        )
+        slots = boot_fhe.context.encoder.coeffs_to_slots(reduced)
+        original_scale = boot_fhe.params.scale
+        assert np.max(np.abs(slots / original_scale - z)) < 5e-3
+
+    def test_coeff_to_slot(self, boot_fhe, bootstrapper, rng):
+        bs, keys = bootstrapper
+        n = boot_fhe.params.slot_count
+        z = rng.normal(scale=0.3, size=n)
+        ct = boot_fhe.encrypt(z, level=0)
+        raised = bs.mod_raise(ct)
+        packed = bs.coeff_to_slot(raised, keys)
+        pt = boot_fhe.decryptor.decrypt(raised)
+        u = pt.poly.to_int_coeffs(centered=True).astype(np.float64)
+        expect = (u[:n] + 1j * u[n:]) / bs.q0
+        got = boot_fhe.decrypt(packed)
+        assert np.max(np.abs(got - expect)) < 1e-3
+
+    def test_split_real_imag(self, boot_fhe, bootstrapper, rng):
+        bs, keys = bootstrapper
+        z = rng.normal(scale=0.3, size=boot_fhe.params.slot_count)
+        ct = boot_fhe.encrypt(z, level=0)
+        packed = bs.coeff_to_slot(bs.mod_raise(ct), keys)
+        w = boot_fhe.decrypt(packed)
+        re, im = bs.split_real_imag(packed, keys)
+        assert np.max(np.abs(boot_fhe.decrypt(re) - w.real)) < 1e-3
+        assert np.max(np.abs(boot_fhe.decrypt(im) - w.imag)) < 1e-3
+        # Scale is re-normalized to the canonical scale.
+        assert abs(re.scale - boot_fhe.params.scale) < 1.0
+
+    def test_eval_exp_sin(self, boot_fhe, bootstrapper, rng):
+        bs, keys = bootstrapper
+        z = rng.normal(scale=0.3, size=boot_fhe.params.slot_count)
+        ct = boot_fhe.encrypt(z, level=0)
+        packed = bs.coeff_to_slot(bs.mod_raise(ct), keys)
+        re, _ = bs.split_real_imag(packed, keys)
+        t = boot_fhe.decrypt(re).real
+        sin_ct = bs.eval_exp_sin(re, keys)
+        got = boot_fhe.decrypt(sin_ct).real
+        assert np.max(np.abs(got - np.sin(2 * np.pi * t))) < 1e-2
+
+
+class TestFullBootstrap:
+    def test_level_refresh(self, boot_fhe, bootstrapper, rng):
+        bs, keys = bootstrapper
+        z = rng.normal(scale=0.3, size=boot_fhe.params.slot_count)
+        ct = boot_fhe.encrypt(z, level=0)
+        out = bs.bootstrap(ct, keys)
+        assert out.level > ct.level
+
+    def test_message_preserved(self, boot_fhe, bootstrapper, rng):
+        bs, keys = bootstrapper
+        z = rng.normal(scale=0.3, size=boot_fhe.params.slot_count)
+        ct = boot_fhe.encrypt(z, level=0)
+        out = bs.bootstrap(ct, keys)
+        assert np.max(np.abs(boot_fhe.decrypt(out) - z)) < BOOT_TOL
+
+    def test_output_supports_multiplication(self, boot_fhe, bootstrapper, rng):
+        """The point of bootstrapping: the refreshed ciphertext can multiply."""
+        bs, keys = bootstrapper
+        z = rng.uniform(0.1, 0.5, boot_fhe.params.slot_count)
+        ct = boot_fhe.encrypt(z, level=0)
+        out = bs.bootstrap(ct, keys)
+        ev = boot_fhe.evaluator
+        squared = ev.rescale(ev.square(out, boot_fhe.relin_key))
+        assert np.max(np.abs(boot_fhe.decrypt(squared) - z ** 2)) < BOOT_TOL
+
+    def test_minimum_levels_estimate_is_honest(self, boot_fhe, bootstrapper, rng):
+        bs, keys = bootstrapper
+        z = rng.normal(scale=0.3, size=boot_fhe.params.slot_count)
+        ct = boot_fhe.encrypt(z, level=0)
+        out = bs.bootstrap(ct, keys)
+        consumed = boot_fhe.context.max_level - out.level
+        assert consumed <= bs.minimum_levels()
+
+
+class TestValidation:
+    def test_requires_sparse_secret(self):
+        params = toy_parameters(poly_degree=128, num_scale_moduli=4)
+        ctx = CkksContext(params)
+        with pytest.raises(ValueError):
+            Bootstrapper(ctx, Evaluator(ctx))

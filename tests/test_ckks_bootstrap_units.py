@@ -1,0 +1,55 @@
+"""Unit-level tests for bootstrapper internals (fast, no full pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import Bootstrapper
+
+
+class TestPrecomputation:
+    def test_conjugate_side_matrices_vanish(self, boot_fhe, bootstrapper):
+        """With (u_low + i*u_high) packing, U[:, n:] = i*U[:, :n] for the
+        5**j slot orbit, so both conjugate-side transforms are zero and
+        C2S/S2C are single complex-linear maps."""
+        bs, _ = bootstrapper
+        assert bs._c2s_conj is None
+        assert bs._s2c_conj is None
+        assert bs._c2s_direct is not None
+        assert bs._s2c_direct is not None
+
+    def test_embedding_halves_relation(self, boot_fhe):
+        enc = boot_fhe.context.encoder
+        u = enc.embedding_matrix()
+        n = boot_fhe.params.slot_count
+        assert np.max(np.abs(u[:, n:] - 1j * u[:, :n])) < 1e-9
+
+    def test_required_galois_elements_include_conjugation(
+            self, boot_fhe, bootstrapper):
+        bs, _ = bootstrapper
+        elements = bs.required_galois_elements()
+        assert boot_fhe.context.conjugation_element in elements
+        assert len(elements) > 4
+
+    def test_minimum_levels_fits_chain(self, boot_fhe, bootstrapper):
+        bs, _ = bootstrapper
+        assert bs.minimum_levels() <= boot_fhe.context.max_level
+
+    def test_dense_secret_rejected(self, toy_fhe):
+        with pytest.raises(ValueError, match="sparse"):
+            Bootstrapper(toy_fhe.context, toy_fhe.evaluator)
+
+
+class TestModRaiseDetails:
+    def test_raise_from_above_level_zero(self, boot_fhe, bootstrapper,
+                                         rng):
+        """mod_raise drops higher-level inputs to 0 first."""
+        bs, _ = bootstrapper
+        z = rng.normal(scale=0.3, size=boot_fhe.params.slot_count)
+        ct = boot_fhe.encrypt(z, level=3)
+        raised = bs.mod_raise(ct)
+        assert raised.level == boot_fhe.context.max_level
+        assert raised.scale == float(bs.q0)
+
+    def test_q0_is_first_modulus(self, boot_fhe, bootstrapper):
+        bs, _ = bootstrapper
+        assert bs.q0 == boot_fhe.context.rns.moduli[0]

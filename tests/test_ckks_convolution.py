@@ -1,0 +1,112 @@
+"""Functional tests for homomorphic 2-D convolution (the ConvBN kernel)."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.convolution import (
+    Conv2d,
+    average_pool_kernel,
+    pack_image,
+    unpack_image,
+)
+
+TOL = 5e-3
+
+
+def _conv_fixture(fixture, kernel, h, w, bias=0.0):
+    conv = Conv2d(fixture.context, kernel, h, w, bias=bias)
+    elements = [fixture.context.galois_element_for_step(s)
+                for s in conv.required_rotation_steps()]
+    gk = fixture.keygen.create_galois_keys(elements)
+    return conv, gk
+
+
+class TestPacking:
+    def test_round_trip(self, rng):
+        img = rng.normal(size=(4, 6))
+        assert np.array_equal(unpack_image(pack_image(img), 4, 6), img)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            pack_image(np.zeros(5))
+
+
+class TestConv2d:
+    def test_3x3_uses_eight_rotations(self, deep_fhe, rng):
+        """Table I: one ConvBN unit has exactly 8 rotations (3x3 taps,
+        the center tap needs none)."""
+        kernel = rng.normal(size=(3, 3))
+        conv = Conv2d(deep_fhe.context, kernel, 8, 8)
+        assert len(conv.required_rotation_steps()) == 8
+
+    def test_matches_plaintext_reference(self, deep_fhe, rng):
+        h = w = 8
+        kernel = 0.2 * rng.normal(size=(3, 3))
+        conv, gk = _conv_fixture(deep_fhe, kernel, h, w)
+        img = rng.normal(scale=0.5, size=(h, w))
+        ct = deep_fhe.encrypt(pack_image(img))
+        out = conv.apply(ct, deep_fhe.evaluator, gk)
+        got = unpack_image(deep_fhe.decrypt(out).real, h, w)
+        assert np.max(np.abs(got - conv.reference(img))) < TOL
+
+    def test_identity_kernel(self, deep_fhe, rng):
+        kernel = np.zeros((3, 3))
+        kernel[1, 1] = 1.0
+        conv, gk = _conv_fixture(deep_fhe, kernel, 8, 8)
+        img = rng.normal(scale=0.5, size=(8, 8))
+        ct = deep_fhe.encrypt(pack_image(img))
+        out = conv.apply(ct, deep_fhe.evaluator, gk)
+        got = unpack_image(deep_fhe.decrypt(out).real, 8, 8)
+        assert np.max(np.abs(got - img)) < TOL
+
+    def test_bias_is_the_bn_fold(self, deep_fhe, rng):
+        """ConvBN = convolution + a single HAdd (paper Section III-A)."""
+        kernel = np.zeros((3, 3))
+        kernel[1, 1] = 1.0
+        conv, gk = _conv_fixture(deep_fhe, kernel, 8, 8, bias=0.25)
+        img = rng.normal(scale=0.5, size=(8, 8))
+        ct = deep_fhe.encrypt(pack_image(img))
+        out = conv.apply(ct, deep_fhe.evaluator, gk)
+        got = unpack_image(deep_fhe.decrypt(out).real, 8, 8)
+        assert np.max(np.abs(got - (img + 0.25))) < TOL
+
+    def test_average_pool_kernel(self, deep_fhe, rng):
+        """AvgPool as a 1/k^2 convolution (paper Section III-A)."""
+        conv, gk = _conv_fixture(deep_fhe, average_pool_kernel(3), 8, 8)
+        img = rng.normal(scale=0.5, size=(8, 8))
+        ct = deep_fhe.encrypt(pack_image(img))
+        out = conv.apply(ct, deep_fhe.evaluator, gk)
+        got = unpack_image(deep_fhe.decrypt(out).real, 8, 8)
+        assert np.max(np.abs(got - conv.reference(img))) < TOL
+        # Pooling a constant image is the identity.
+        flat = np.full((8, 8), 0.5)
+        ct2 = deep_fhe.encrypt(pack_image(flat))
+        out2 = conv.apply(ct2, deep_fhe.evaluator, gk)
+        got2 = unpack_image(deep_fhe.decrypt(out2).real, 8, 8)
+        assert np.max(np.abs(got2 - 0.5)) < TOL
+
+
+class TestValidation:
+    def test_even_kernel_rejected(self, deep_fhe):
+        with pytest.raises(ValueError):
+            Conv2d(deep_fhe.context, np.zeros((2, 2)), 8, 8)
+
+    def test_non_square_kernel_rejected(self, deep_fhe):
+        with pytest.raises(ValueError):
+            Conv2d(deep_fhe.context, np.zeros((3, 5)), 8, 8)
+
+    def test_oversized_image_rejected(self, deep_fhe):
+        n = deep_fhe.params.slot_count
+        with pytest.raises(ValueError):
+            Conv2d(deep_fhe.context, np.eye(3), n, n)
+
+    def test_zero_kernel_rejected_on_apply(self, deep_fhe, rng):
+        conv = Conv2d(deep_fhe.context, np.zeros((3, 3)), 8, 8)
+        ct = deep_fhe.encrypt(rng.normal(size=64))
+        with pytest.raises(ValueError):
+            conv.apply(ct, deep_fhe.evaluator, deep_fhe.galois_keys)
+
+    def test_reference_shape_check(self, deep_fhe):
+        conv = Conv2d(deep_fhe.context, np.eye(3), 8, 8)
+        with pytest.raises(ValueError):
+            conv.reference(np.zeros((4, 4)))

@@ -1,0 +1,88 @@
+"""Unit tests for the CKKS canonical-embedding encoder."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.encoder import CkksEncoder
+from repro.poly import RnsContext
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    return CkksEncoder(128)
+
+
+@pytest.fixture(scope="module")
+def rns():
+    return RnsContext.create(
+        poly_degree=128,
+        first_modulus_bits=29,
+        scale_modulus_bits=25,
+        num_scale_moduli=2,
+        special_modulus_bits=30,
+        num_special_moduli=1,
+    )
+
+
+class TestTransforms:
+    def test_round_trip(self, encoder):
+        rng = np.random.default_rng(0)
+        z = rng.normal(size=64) + 1j * rng.normal(size=64)
+        back = encoder.coeffs_to_slots(encoder.slots_to_coeffs(z))
+        assert np.max(np.abs(back - z)) < 1e-9
+
+    def test_matches_embedding_matrix(self, encoder):
+        rng = np.random.default_rng(1)
+        c = rng.normal(size=128)
+        direct = encoder.embedding_matrix() @ c
+        fast = encoder.coeffs_to_slots(c)
+        assert np.max(np.abs(direct - fast)) < 1e-9
+
+    def test_linearity(self, encoder):
+        rng = np.random.default_rng(2)
+        z1 = rng.normal(size=64) + 1j * rng.normal(size=64)
+        z2 = rng.normal(size=64) + 1j * rng.normal(size=64)
+        lhs = encoder.slots_to_coeffs(2.0 * z1 + z2)
+        rhs = 2.0 * encoder.slots_to_coeffs(z1) + encoder.slots_to_coeffs(z2)
+        assert np.max(np.abs(lhs - rhs)) < 1e-9
+
+    def test_constant_vector_encodes_to_constant_poly(self, encoder):
+        coeffs = encoder.slots_to_coeffs(np.full(64, 3.0 + 0j))
+        assert abs(coeffs[0] - 3.0) < 1e-9
+        assert np.max(np.abs(coeffs[1:])) < 1e-9
+
+    def test_shape_validation(self, encoder):
+        with pytest.raises(ValueError):
+            encoder.coeffs_to_slots(np.zeros(64))
+        with pytest.raises(ValueError):
+            encoder.slots_to_coeffs(np.zeros(128))
+
+
+class TestScaledEncodeDecode:
+    def test_precision(self, encoder, rns):
+        rng = np.random.default_rng(3)
+        z = rng.normal(scale=1.0, size=64) + 1j * rng.normal(scale=1.0, size=64)
+        scale = 2.0 ** 25
+        poly = encoder.encode(z, scale, rns, rns.data_indices)
+        back = encoder.decode(poly, scale)
+        assert np.max(np.abs(back - z)) < 1e-5
+
+    def test_scalar_broadcast(self, encoder, rns):
+        poly = encoder.encode(0.5, 2.0 ** 25, rns, rns.data_indices)
+        back = encoder.decode(poly, 2.0 ** 25)
+        assert np.max(np.abs(back - 0.5)) < 1e-6
+
+    def test_short_vector_zero_padded(self, encoder, rns):
+        poly = encoder.encode([1.0, 2.0], 2.0 ** 25, rns, rns.data_indices)
+        back = encoder.decode(poly, 2.0 ** 25)
+        assert abs(back[0] - 1.0) < 1e-6
+        assert abs(back[1] - 2.0) < 1e-6
+        assert np.max(np.abs(back[2:])) < 1e-6
+
+    def test_oversized_vector_rejected(self, encoder, rns):
+        with pytest.raises(ValueError):
+            encoder.encode(np.zeros(65), 2.0 ** 25, rns, rns.data_indices)
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            CkksEncoder(100)

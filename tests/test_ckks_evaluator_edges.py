@@ -1,0 +1,104 @@
+"""Edge-case tests for the evaluator's scale/level bookkeeping."""
+
+import numpy as np
+import pytest
+
+TOL = 5e-3
+
+
+class TestScaleBookkeeping:
+    def test_multiply_multiplies_scales(self, toy_fhe, rng):
+        za, zb = toy_fhe.random_vector(rng), toy_fhe.random_vector(rng)
+        ca, cb = toy_fhe.encrypt(za), toy_fhe.encrypt(zb)
+        prod = toy_fhe.evaluator.multiply(ca, cb, toy_fhe.relin_key)
+        assert prod.scale == pytest.approx(ca.scale * cb.scale)
+
+    def test_multiply_plain_multiplies_scales(self, toy_fhe, rng):
+        z = toy_fhe.random_vector(rng)
+        ct = toy_fhe.encrypt(z)
+        pt = toy_fhe.evaluator.encode(z, scale=2.0 ** 20)
+        prod = toy_fhe.evaluator.multiply_plain(ct, pt)
+        assert prod.scale == pytest.approx(ct.scale * 2.0 ** 20)
+
+    def test_custom_const_scale(self, toy_fhe, rng):
+        """multiply_const at a chosen scale — the bootstrap trick."""
+        z = toy_fhe.random_vector(rng)
+        ct = toy_fhe.encrypt(z)
+        q_drop = toy_fhe.context.rns.moduli[ct.basis[-1]]
+        const_scale = toy_fhe.params.scale * q_drop / ct.scale
+        out = toy_fhe.evaluator.rescale(
+            toy_fhe.evaluator.multiply_const(ct, 1.0, scale=const_scale)
+        )
+        assert out.scale == pytest.approx(toy_fhe.params.scale, rel=1e-6)
+        assert np.max(np.abs(toy_fhe.decrypt(out) - z)) < TOL
+
+    def test_mixed_level_multiply(self, toy_fhe, rng):
+        za, zb = toy_fhe.random_vector(rng), toy_fhe.random_vector(rng)
+        high = toy_fhe.encrypt(za)
+        low = toy_fhe.encrypt(zb, level=2)
+        ev = toy_fhe.evaluator
+        out = ev.rescale(ev.multiply(high, low, toy_fhe.relin_key))
+        assert out.level == 1
+        assert np.max(np.abs(toy_fhe.decrypt(out) - za * zb)) < TOL
+
+    def test_add_plain_drops_plaintext_basis(self, toy_fhe, rng):
+        z = toy_fhe.random_vector(rng)
+        ct = toy_fhe.evaluator.drop_to_level(toy_fhe.encrypt(z), 1)
+        pt = toy_fhe.evaluator.encode(z)  # full-level plaintext
+        out = toy_fhe.evaluator.add_plain(ct, pt)
+        assert out.level == 1
+        assert np.max(np.abs(toy_fhe.decrypt(out) - 2 * z)) < TOL
+
+
+class TestEncodeDefaults:
+    def test_encode_defaults_to_params(self, toy_fhe):
+        pt = toy_fhe.evaluator.encode([1.0])
+        assert pt.scale == toy_fhe.params.scale
+        assert pt.level == toy_fhe.context.max_level
+
+    def test_encode_at_level(self, toy_fhe):
+        pt = toy_fhe.evaluator.encode([1.0], level=1)
+        assert pt.level == 1
+
+
+class TestRescaleChain:
+    def test_rescale_to_bottom(self, toy_fhe, rng):
+        """Rescale all the way to level 0 and still decrypt."""
+        z = rng.uniform(0.2, 0.8, toy_fhe.params.slot_count)
+        ct = toy_fhe.encrypt(z)
+        ev = toy_fhe.evaluator
+        expected = z.copy()
+        while ct.level > 0:
+            ct = ev.rescale(ev.multiply_const(ct, 1.0))
+        assert ct.level == 0
+        assert np.max(np.abs(toy_fhe.decrypt(ct) - expected)) < 2e-2
+
+    def test_rescale_at_level_zero_rejected(self, toy_fhe, rng):
+        ct = toy_fhe.evaluator.drop_to_level(
+            toy_fhe.encrypt(toy_fhe.random_vector(rng)), 0
+        )
+        with pytest.raises(ValueError):
+            toy_fhe.evaluator.rescale(ct)
+
+
+class TestGaloisComposition:
+    def test_apply_galois_direct(self, toy_fhe, rng):
+        """apply_galois with an explicit element = rotate."""
+        z = toy_fhe.random_vector(rng)
+        ct = toy_fhe.encrypt(z)
+        g = toy_fhe.context.galois_element_for_step(2)
+        out = toy_fhe.evaluator.apply_galois(
+            ct, g, toy_fhe.galois_keys.key_for(g)
+        )
+        assert np.max(np.abs(toy_fhe.decrypt(out) - np.roll(z, -2))) < TOL
+
+    def test_rotation_after_multiplication(self, toy_fhe, rng):
+        """Keyswitching works on relinearized products."""
+        za, zb = toy_fhe.random_vector(rng), toy_fhe.random_vector(rng)
+        ev = toy_fhe.evaluator
+        prod = ev.rescale(ev.multiply(toy_fhe.encrypt(za),
+                                      toy_fhe.encrypt(zb),
+                                      toy_fhe.relin_key))
+        out = ev.rotate(prod, 1, toy_fhe.galois_keys)
+        assert np.max(np.abs(toy_fhe.decrypt(out)
+                             - np.roll(za * zb, -1))) < TOL

@@ -1,0 +1,75 @@
+"""Functional tests for BSGS homomorphic linear transforms."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import LinearTransform
+
+
+def _apply_matrix(fixture, matrix, z, baby_steps=None):
+    lt = LinearTransform(fixture.context, matrix, baby_steps=baby_steps)
+    steps = lt.required_rotation_steps()
+    elements = [fixture.context.galois_element_for_step(s) for s in steps]
+    gk = fixture.keygen.create_galois_keys(elements)
+    ct = fixture.encrypt(z)
+    out = fixture.evaluator.rescale(lt.apply(ct, fixture.evaluator, gk))
+    return fixture.decrypt(out), lt
+
+
+class TestDenseMatrix:
+    def test_random_complex_matrix(self, deep_fhe, rng):
+        n = deep_fhe.params.slot_count
+        m = 0.3 * (rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n)))
+        z = deep_fhe.random_vector(rng, complex_values=True)
+        got, _ = _apply_matrix(deep_fhe, m, z)
+        assert np.max(np.abs(got - m @ z)) < 5e-3
+
+    def test_identity_matrix(self, deep_fhe, rng):
+        n = deep_fhe.params.slot_count
+        z = deep_fhe.random_vector(rng)
+        got, lt = _apply_matrix(deep_fhe, np.eye(n), z)
+        assert lt.diagonal_count == 1
+        assert lt.required_rotation_steps() == []
+        assert np.max(np.abs(got - z)) < 5e-3
+
+    def test_permutation_matrix(self, deep_fhe, rng):
+        n = deep_fhe.params.slot_count
+        perm = np.roll(np.eye(n), -3, axis=1)  # out_j = in_{j-3}
+        z = deep_fhe.random_vector(rng)
+        got, lt = _apply_matrix(deep_fhe, perm, z)
+        assert lt.diagonal_count == 1
+        assert np.max(np.abs(got - np.roll(z, 3))) < 5e-3
+
+
+class TestBsgsStructure:
+    def test_rotation_count_is_sublinear(self, deep_fhe, rng):
+        n = deep_fhe.params.slot_count
+        m = rng.normal(size=(n, n))
+        lt = LinearTransform(deep_fhe.context, m)
+        assert len(lt.required_rotation_steps()) <= 2 * int(np.ceil(np.sqrt(n)))
+
+    def test_explicit_baby_steps(self, deep_fhe, rng):
+        n = deep_fhe.params.slot_count
+        m = 0.3 * rng.normal(size=(n, n))
+        z = deep_fhe.random_vector(rng)
+        got, _ = _apply_matrix(deep_fhe, m, z, baby_steps=4)
+        assert np.max(np.abs(got - m @ z)) < 5e-3
+
+    def test_sparse_diagonals_skipped(self, deep_fhe):
+        n = deep_fhe.params.slot_count
+        m = np.diag(np.ones(n - 1), 1)  # single off-diagonal
+        lt = LinearTransform(deep_fhe.context, m)
+        assert lt.diagonal_count <= 2
+
+
+class TestValidation:
+    def test_wrong_shape_rejected(self, deep_fhe):
+        with pytest.raises(ValueError):
+            LinearTransform(deep_fhe.context, np.zeros((3, 3)))
+
+    def test_zero_matrix_rejected_on_apply(self, deep_fhe, rng):
+        n = deep_fhe.params.slot_count
+        lt = LinearTransform(deep_fhe.context, np.zeros((n, n)))
+        ct = deep_fhe.encrypt(deep_fhe.random_vector(rng))
+        with pytest.raises(ValueError):
+            lt.apply(ct, deep_fhe.evaluator, deep_fhe.galois_keys)

@@ -1,0 +1,91 @@
+"""Tests for the noise estimator against measured ciphertext noise."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.noise import NoiseEstimator, measure_noise
+
+
+@pytest.fixture(scope="module")
+def estimator(toy_fhe):
+    return NoiseEstimator(toy_fhe.context)
+
+
+def _measure(fixture, ct, expected):
+    return measure_noise(fixture.decryptor, fixture.context.encoder, ct,
+                         expected)
+
+
+class TestMeasuredNoise:
+    def test_fresh_noise_within_estimate(self, toy_fhe, estimator, rng):
+        z = toy_fhe.random_vector(rng)
+        ct = toy_fhe.encrypt(z)
+        measured = _measure(toy_fhe, ct, z)
+        assert measured > 0
+        # The average-case estimate should be the right order of
+        # magnitude: within 10x either way.
+        assert measured < 10 * estimator.fresh() * 10
+        assert measured > estimator.fresh() / 100
+
+    def test_add_grows_noise(self, toy_fhe, rng):
+        za, zb = toy_fhe.random_vector(rng), toy_fhe.random_vector(rng)
+        ca, cb = toy_fhe.encrypt(za), toy_fhe.encrypt(zb)
+        n_a = _measure(toy_fhe, ca, za)
+        summed = toy_fhe.evaluator.add(ca, cb)
+        n_sum = _measure(toy_fhe, summed, za + zb)
+        assert n_sum > 0.5 * n_a  # grows (roughly additive)
+        assert n_sum < 10 * n_a
+
+    def test_rotation_adds_keyswitch_noise(self, toy_fhe, estimator, rng):
+        z = toy_fhe.random_vector(rng)
+        ct = toy_fhe.encrypt(z)
+        base = _measure(toy_fhe, ct, z)
+        rotated = toy_fhe.evaluator.rotate(ct, 1, toy_fhe.galois_keys)
+        after = _measure(toy_fhe, rotated, np.roll(z, -1))
+        assert after >= base * 0.5
+        # Keyswitch noise is bounded by the estimator's term (x20 slack).
+        assert after - base < 20 * estimator.keyswitch() + base
+
+    def test_precision_still_usable_after_depth(self, toy_fhe, rng):
+        """After the full level budget, precision remains above the
+        collapse threshold — the parameters are sized correctly."""
+        z = rng.uniform(0.2, 0.8, toy_fhe.params.slot_count)
+        ct = toy_fhe.encrypt(z)
+        ev = toy_fhe.evaluator
+        expected = z
+        for _ in range(2):
+            ct = ev.rescale(ev.square(ct, toy_fhe.relin_key))
+            expected = expected ** 2
+        measured = _measure(toy_fhe, ct, expected)
+        est = NoiseEstimator(toy_fhe.context)
+        assert not est.budget_exhausted(measured, ct.scale)
+
+
+class TestEstimatorArithmetic:
+    def test_add_rule(self, estimator):
+        assert estimator.add(3.0, 4.0) == 7.0
+
+    def test_rescale_shrinks_noise(self, estimator, toy_fhe):
+        q = toy_fhe.context.rns.moduli[1]
+        big = 1e9
+        assert estimator.rescale(big, q) < big / 1e6 + 1e4
+
+    def test_precision_bits(self, estimator):
+        assert estimator.precision_bits(1.0, 2.0 ** 20) \
+            == pytest.approx(20.0)
+        assert estimator.precision_bits(0.0, 2.0 ** 20) == float("inf")
+
+    def test_budget_flag(self, estimator):
+        scale = 2.0 ** 25
+        assert not estimator.budget_exhausted(scale / 2 ** 10, scale)
+        assert estimator.budget_exhausted(scale / 2, scale)
+
+    def test_multiply_rule_dominates_components(self, estimator):
+        out = estimator.multiply(10.0, 20.0, 1e6, 2e6)
+        assert out >= 10.0 * 2e6
+        assert out >= 20.0 * 1e6
+
+    def test_sparse_secret_reduces_rounding_term(self, boot_fhe, toy_fhe):
+        sparse = NoiseEstimator(boot_fhe.context)
+        dense = NoiseEstimator(toy_fhe.context)
+        assert sparse._s_norm < dense._s_norm

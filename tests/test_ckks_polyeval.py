@@ -1,0 +1,99 @@
+"""Functional tests for homomorphic polynomial evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import evaluate_polynomial
+from repro.ckks.polyeval import power_tree_depth
+
+TOL = 5e-3
+
+
+class TestPowerTreeDepth:
+    def test_known_depths(self):
+        assert power_tree_depth(1) == 0
+        assert power_tree_depth(2) == 1
+        assert power_tree_depth(4) == 2
+        assert power_tree_depth(7) == 2
+        assert power_tree_depth(8) == 3
+
+
+class TestEvaluation:
+    def test_linear(self, deep_fhe, rng):
+        x = rng.uniform(-1, 1, deep_fhe.params.slot_count)
+        ct = deep_fhe.encrypt(x)
+        out = evaluate_polynomial(ct, [1.0, 2.0], deep_fhe.evaluator,
+                                  deep_fhe.relin_key)
+        assert np.max(np.abs(deep_fhe.decrypt(out) - (1 + 2 * x))) < TOL
+
+    def test_cubic(self, deep_fhe, rng):
+        x = rng.uniform(-1, 1, deep_fhe.params.slot_count)
+        ct = deep_fhe.encrypt(x)
+        coeffs = [0.5, -1.0, 0.25, 0.125]
+        out = evaluate_polynomial(ct, coeffs, deep_fhe.evaluator,
+                                  deep_fhe.relin_key)
+        expect = 0.5 - x + 0.25 * x ** 2 + 0.125 * x ** 3
+        assert np.max(np.abs(deep_fhe.decrypt(out) - expect)) < TOL
+
+    def test_degree_seven(self, deep_fhe, rng):
+        """Degree-7 with all terms — the EvalExp Taylor shape."""
+        x = rng.uniform(-0.5, 0.5, deep_fhe.params.slot_count)
+        ct = deep_fhe.encrypt(x)
+        coeffs = np.array([1.0, 1.0, 0.5, 1 / 6, 1 / 24, 1 / 120, 1 / 720,
+                           1 / 5040])
+        out = evaluate_polynomial(ct, coeffs, deep_fhe.evaluator,
+                                  deep_fhe.relin_key)
+        expect = sum(c * x ** k for k, c in enumerate(coeffs))
+        assert np.max(np.abs(deep_fhe.decrypt(out) - expect)) < TOL
+
+    def test_complex_coefficients(self, deep_fhe, rng):
+        x = rng.uniform(-0.5, 0.5, deep_fhe.params.slot_count)
+        ct = deep_fhe.encrypt(x)
+        coeffs = [0.0, 1j, -0.5]
+        out = evaluate_polynomial(ct, coeffs, deep_fhe.evaluator,
+                                  deep_fhe.relin_key)
+        expect = 1j * x - 0.5 * x ** 2
+        assert np.max(np.abs(deep_fhe.decrypt(out) - expect)) < TOL
+
+    def test_sparse_polynomial_skips_zero_terms(self, deep_fhe, rng):
+        x = rng.uniform(-1, 1, deep_fhe.params.slot_count)
+        ct = deep_fhe.encrypt(x)
+        out = evaluate_polynomial(ct, [0.0, 0.0, 0.0, 1.0],
+                                  deep_fhe.evaluator, deep_fhe.relin_key)
+        assert np.max(np.abs(deep_fhe.decrypt(out) - x ** 3)) < TOL
+
+    def test_pure_constant(self, deep_fhe, rng):
+        x = rng.uniform(-1, 1, deep_fhe.params.slot_count)
+        ct = deep_fhe.encrypt(x)
+        out = evaluate_polynomial(ct, [2.5], deep_fhe.evaluator,
+                                  deep_fhe.relin_key)
+        assert np.max(np.abs(deep_fhe.decrypt(out) - 2.5)) < TOL
+
+    def test_relu_approximation(self, deep_fhe, rng):
+        """The CNN non-linear layer: a polynomial ReLU surrogate.
+
+        Uses the smooth approximation x^2 (squaring activation) plus a
+        linear term — what matters here is evaluator correctness, not ML
+        quality.
+        """
+        x = rng.uniform(-1, 1, deep_fhe.params.slot_count)
+        ct = deep_fhe.encrypt(x)
+        coeffs = [0.125, 0.5, 0.25]
+        out = evaluate_polynomial(ct, coeffs, deep_fhe.evaluator,
+                                  deep_fhe.relin_key)
+        expect = 0.125 + 0.5 * x + 0.25 * x ** 2
+        assert np.max(np.abs(deep_fhe.decrypt(out) - expect)) < TOL
+
+    def test_empty_coefficients_rejected(self, deep_fhe, rng):
+        ct = deep_fhe.encrypt(rng.uniform(-1, 1, deep_fhe.params.slot_count))
+        with pytest.raises(ValueError):
+            evaluate_polynomial(ct, [], deep_fhe.evaluator,
+                                deep_fhe.relin_key)
+
+    def test_level_consumption(self, deep_fhe, rng):
+        x = rng.uniform(-1, 1, deep_fhe.params.slot_count)
+        ct = deep_fhe.encrypt(x)
+        out = evaluate_polynomial(ct, [0.0, 0.0, 1.0], deep_fhe.evaluator,
+                                  deep_fhe.relin_key)
+        # power tree depth 1 + combination level 1
+        assert out.level == ct.level - 2

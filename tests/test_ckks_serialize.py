@@ -1,0 +1,120 @@
+"""Tests for CKKS serialization (the client/server wire format)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.ckks import Encryptor
+from repro.ckks.serialize import (
+    ciphertext_from_bytes,
+    ciphertext_to_bytes,
+    load_ciphertext,
+    load_galois_keys,
+    load_public_key,
+    params_from_json,
+    params_to_json,
+    save_ciphertext,
+    save_galois_keys,
+    save_public_key,
+)
+
+
+class TestParams:
+    def test_round_trip(self, toy_fhe):
+        text = params_to_json(toy_fhe.params)
+        back = params_from_json(text)
+        assert back == toy_fhe.params
+
+    def test_sparse_secret_survives(self, boot_fhe):
+        back = params_from_json(params_to_json(boot_fhe.params))
+        assert back.secret_hamming_weight == 4
+
+
+class TestCiphertext:
+    def test_file_round_trip(self, toy_fhe, rng, tmp_path):
+        z = toy_fhe.random_vector(rng)
+        ct = toy_fhe.encrypt(z)
+        path = tmp_path / "ct.npz"
+        save_ciphertext(path, ct)
+        back = load_ciphertext(path, toy_fhe.context)
+        assert back.scale == ct.scale
+        assert back.basis == ct.basis
+        assert np.max(np.abs(toy_fhe.decrypt(back) - z)) < 5e-3
+
+    def test_bytes_round_trip(self, toy_fhe, rng):
+        z = toy_fhe.random_vector(rng)
+        ct = toy_fhe.encrypt(z)
+        blob = ciphertext_to_bytes(ct)
+        assert isinstance(blob, bytes) and len(blob) > 1000
+        back = ciphertext_from_bytes(blob, toy_fhe.context)
+        assert np.array_equal(back.c0.data, ct.c0.data)
+
+    def test_low_level_ciphertext(self, toy_fhe, rng):
+        z = toy_fhe.random_vector(rng)
+        ct = toy_fhe.evaluator.drop_to_level(toy_fhe.encrypt(z), 1)
+        back = ciphertext_from_bytes(ciphertext_to_bytes(ct),
+                                     toy_fhe.context)
+        assert back.level == 1
+
+    def test_serialized_ciphertext_still_computes(self, toy_fhe, rng):
+        """The server can operate on a deserialized ciphertext."""
+        z = toy_fhe.random_vector(rng)
+        blob = ciphertext_to_bytes(toy_fhe.encrypt(z))
+        ct = ciphertext_from_bytes(blob, toy_fhe.context)
+        out = toy_fhe.evaluator.rescale(
+            toy_fhe.evaluator.multiply_const(ct, 2.0)
+        )
+        assert np.max(np.abs(toy_fhe.decrypt(out) - 2 * z)) < 5e-3
+
+
+class TestKeys:
+    def test_public_key_round_trip(self, toy_fhe, rng, tmp_path):
+        path = tmp_path / "pk.npz"
+        save_public_key(path, toy_fhe.public_key)
+        pk = load_public_key(path, toy_fhe.context)
+        # A fresh encryptor built from the loaded key must decrypt.
+        enc = Encryptor(toy_fhe.context, pk, seed=99)
+        z = toy_fhe.random_vector(rng)
+        ct = enc.encrypt_values(z)
+        assert np.max(np.abs(toy_fhe.decrypt(ct) - z)) < 5e-3
+
+    def test_galois_keys_round_trip(self, toy_fhe, rng, tmp_path):
+        path = tmp_path / "gk.npz"
+        save_galois_keys(path, toy_fhe.galois_keys)
+        gk = load_galois_keys(path, toy_fhe.context)
+        assert set(gk.keys) == set(toy_fhe.galois_keys.keys)
+        z = toy_fhe.random_vector(rng)
+        ct = toy_fhe.encrypt(z)
+        out = toy_fhe.evaluator.rotate(ct, 1, gk)
+        assert np.max(np.abs(toy_fhe.decrypt(out) - np.roll(z, -1))) < 5e-3
+
+    def test_in_memory_buffer(self, toy_fhe):
+        buf = io.BytesIO()
+        save_public_key(buf, toy_fhe.public_key)
+        buf.seek(0)
+        pk = load_public_key(buf, toy_fhe.context)
+        assert pk.b.basis == toy_fhe.public_key.b.basis
+
+
+class TestCrossContext:
+    def test_server_rebuilds_context_from_params(self, toy_fhe, rng):
+        """A second party reconstructs the ring from serialized params
+        and can compute on wire ciphertexts with wire-free keys."""
+        from repro.ckks import CkksContext, Evaluator
+        server_ctx = CkksContext(
+            params_from_json(params_to_json(toy_fhe.params))
+        )
+        z = toy_fhe.random_vector(rng)
+        blob = ciphertext_to_bytes(toy_fhe.encrypt(z))
+        ct = ciphertext_from_bytes(blob, server_ctx)
+        server_ev = Evaluator(server_ctx)
+        out = server_ev.rotate(ct, 1, toy_fhe.galois_keys)
+        assert np.max(np.abs(toy_fhe.decrypt(out) - np.roll(z, -1))) \
+            < 5e-3
+
+    def test_different_rings_rejected(self, toy_fhe, deep_fhe, rng):
+        ct_small = deep_fhe.encrypt(rng.normal(size=4))
+        ct_big = toy_fhe.encrypt(rng.normal(size=4))
+        with pytest.raises(ValueError):
+            ct_big.c0.add(ct_small.c0)

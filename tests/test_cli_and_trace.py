@@ -1,0 +1,141 @@
+"""Tests for the CLI, simulation tracing, and Gantt rendering."""
+
+import pytest
+
+from repro.analysis import render_gantt, trace_summary
+from repro.core.cli import build_parser, main
+from repro.hw import hydra_cluster
+from repro.sim import ProgramBuilder, Simulator
+from repro.sim.result import TraceEvent
+
+
+class _Capture:
+    def __init__(self):
+        self.lines = []
+
+    def __call__(self, text=""):
+        self.lines.append(str(text))
+
+    @property
+    def text(self):
+        return "\n".join(self.lines)
+
+
+class TestTraceRecording:
+    def test_trace_disabled_by_default(self):
+        b = ProgramBuilder(1)
+        b.compute(0, 1.0, tag="x")
+        res = Simulator(hydra_cluster(1, 1)).run(b.build())
+        assert res.trace == []
+
+    def test_compute_and_comm_events_recorded(self):
+        b = ProgramBuilder(2)
+        i = b.compute(0, 1.0, tag="work")
+        b.transfer(0, 1, 1e6, after=i, tag="xfer")
+        b.compute(1, 0.5, tag="work", needs_recv=True)
+        res = Simulator(hydra_cluster(1, 2), trace=True).run(b.build())
+        kinds = {ev.kind for ev in res.trace}
+        assert kinds == {"compute", "send", "recv"}
+        computes = [ev for ev in res.trace if ev.kind == "compute"]
+        assert len(computes) == 2
+        assert all(ev.end > ev.start for ev in res.trace)
+
+    def test_zero_duration_tasks_not_traced(self):
+        b = ProgramBuilder(1)
+        b.compute(0, 0.0)
+        res = Simulator(hydra_cluster(1, 1), trace=True).run(b.build())
+        assert res.trace == []
+
+    def test_trace_summary(self):
+        trace = [
+            TraceEvent(0, "compute", "a", 0.0, 1.0),
+            TraceEvent(0, "compute", "a", 1.0, 3.0),
+            TraceEvent(1, "send", "b", 0.0, 0.5),
+        ]
+        totals = trace_summary(trace)
+        assert totals[("compute", "a")] == pytest.approx(3.0)
+        assert totals[("send", "b")] == pytest.approx(0.5)
+
+
+class TestGanttRendering:
+    def test_empty_trace(self):
+        assert "empty" in render_gantt([])
+
+    def test_rows_per_card(self):
+        trace = [
+            TraceEvent(0, "compute", "a", 0.0, 1.0),
+            TraceEvent(1, "send", "b", 0.0, 0.5),
+        ]
+        out = render_gantt(trace, width=20)
+        assert "card   0" in out
+        assert "card   1" in out
+        assert "#" in out and ">" in out
+
+    def test_node_cap(self):
+        trace = [TraceEvent(i, "compute", "a", 0.0, 1.0)
+                 for i in range(20)]
+        out = render_gantt(trace, max_nodes=4)
+        assert "16 more cards" in out
+
+    def test_compute_wins_overlap_priority(self):
+        trace = [
+            TraceEvent(0, "recv", "x", 0.0, 1.0),
+            TraceEvent(0, "compute", "x", 0.0, 1.0),
+        ]
+        out = render_gantt(trace, width=10)
+        row = [l for l in out.splitlines() if l.startswith("card")][0]
+        assert "#" in row and "." not in row
+
+
+class TestCli:
+    def test_list(self):
+        cap = _Capture()
+        assert main(["list"], out=cap) == 0
+        assert "Hydra-M" in cap.text
+        assert "resnet18" in cap.text
+
+    def test_run(self):
+        cap = _Capture()
+        assert main(["run", "-s", "Hydra-M", "-b", "resnet18",
+                     "--no-energy"], out=cap) == 0
+        assert "total time" in cap.text
+        assert "ConvBN" in cap.text
+
+    def test_resources(self):
+        cap = _Capture()
+        assert main(["resources"], out=cap) == 0
+        assert "DSP" in cap.text
+
+    def test_dft(self):
+        cap = _Capture()
+        assert main(["dft", "--slots", "12", "--cards", "8"],
+                    out=cap) == 0
+        assert "radices" in cap.text
+
+    def test_trace_default_step(self):
+        cap = _Capture()
+        assert main(["trace", "-s", "Hydra-M", "-b", "resnet18"],
+                    out=cap) == 0
+        assert "card   0" in cap.text
+
+    def test_trace_unknown_step(self):
+        cap = _Capture()
+        assert main(["trace", "-s", "Hydra-M", "-b", "resnet18",
+                     "--step", "nonexistent"], out=cap) == 1
+        assert "no step named" in cap.text
+
+    def test_sweep(self):
+        cap = _Capture()
+        assert main(["sweep", "-b", "resnet18", "--cards", "1", "2"],
+                    out=cap) == 0
+        assert "Speedup" in cap.text
+
+    def test_report(self):
+        cap = _Capture()
+        assert main(["report", "-b", "resnet18"], out=cap) == 0
+        assert "SHARP" in cap.text
+        assert "Hydra-L speedup" in cap.text
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

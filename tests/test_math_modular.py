@@ -1,0 +1,116 @@
+"""Unit tests for scalar modular arithmetic."""
+
+import pytest
+
+from repro.math.modular import (
+    BarrettReducer,
+    is_prime,
+    mod_exp,
+    mod_inverse,
+    nth_root_of_unity,
+    primitive_root,
+)
+
+
+class TestModExp:
+    def test_small_cases(self):
+        assert mod_exp(2, 10, 1000) == 24
+        assert mod_exp(3, 0, 7) == 1
+        assert mod_exp(0, 5, 7) == 0
+
+    def test_fermat_little_theorem(self):
+        p = 1000003
+        for base in (2, 3, 5, 999999):
+            assert mod_exp(base, p - 1, p) == 1
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(ValueError):
+            mod_exp(2, -1, 7)
+
+    def test_rejects_nonpositive_modulus(self):
+        with pytest.raises(ValueError):
+            mod_exp(2, 3, 0)
+
+
+class TestModInverse:
+    def test_inverse_identity(self):
+        q = 1073707009
+        for v in (1, 2, 12345, q - 1):
+            assert v * mod_inverse(v, q) % q == 1
+
+    def test_handles_values_above_modulus(self):
+        assert mod_inverse(10, 7) == mod_inverse(3, 7)
+
+    def test_no_inverse_raises(self):
+        with pytest.raises(ValueError):
+            mod_inverse(6, 9)
+
+
+class TestIsPrime:
+    def test_small_primes_and_composites(self):
+        primes = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+        for n in range(2, 40):
+            assert is_prime(n) == (n in primes)
+
+    def test_large_known_prime(self):
+        assert is_prime(2 ** 31 - 1)  # Mersenne prime M31
+        assert not is_prime(2 ** 32 - 1)
+
+    def test_carmichael_numbers_rejected(self):
+        for n in (561, 1105, 1729, 2465, 41041):
+            assert not is_prime(n)
+
+    def test_edge_cases(self):
+        assert not is_prime(0)
+        assert not is_prime(1)
+        assert not is_prime(-7)
+
+
+class TestPrimitiveRoot:
+    def test_generates_full_group(self):
+        p = 257
+        g = primitive_root(p)
+        seen = set()
+        x = 1
+        for _ in range(p - 1):
+            x = x * g % p
+            seen.add(x)
+        assert len(seen) == p - 1
+
+    def test_rejects_composite(self):
+        with pytest.raises(ValueError):
+            primitive_root(100)
+
+
+class TestNthRootOfUnity:
+    def test_root_has_exact_order(self):
+        q = 1073707009  # 1 mod 2048
+        n = 2048
+        w = nth_root_of_unity(n, q)
+        assert pow(w, n, q) == 1
+        assert pow(w, n // 2, q) == q - 1  # primitive: order exactly n
+
+    def test_rejects_non_dividing_order(self):
+        with pytest.raises(ValueError):
+            nth_root_of_unity(10, 17)
+
+
+class TestBarrettReducer:
+    def test_matches_builtin_mod(self):
+        q = 998244353
+        reducer = BarrettReducer(q)
+        for v in (0, 1, q - 1, q, q + 1, q * q - 1, 123456789012345678 % (q * q)):
+            assert reducer.reduce(v) == v % q
+
+    def test_mul(self):
+        q = 1073707009
+        reducer = BarrettReducer(q)
+        assert reducer.mul(q - 1, q - 1) == (q - 1) * (q - 1) % q
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BarrettReducer(7).reduce(-1)
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(ValueError):
+            BarrettReducer(1)

@@ -1,0 +1,42 @@
+"""Unit tests for NTT-friendly prime generation."""
+
+import pytest
+
+from repro.math.primes import find_ntt_primes, is_ntt_friendly
+
+
+class TestIsNttFriendly:
+    def test_accepts_known_friendly_prime(self):
+        # 12289 = 3 * 2^12 + 1 supports N up to 2048 (2N = 4096 divides 12288)
+        assert is_ntt_friendly(12289, 2048)
+
+    def test_rejects_wrong_congruence(self):
+        assert not is_ntt_friendly(12289, 4096)
+
+    def test_rejects_composite(self):
+        # 4097 = 17 * 241 satisfies the congruence for N=2048 but is composite.
+        assert 4097 % (2 * 2048) == 1
+        assert not is_ntt_friendly(4097, 2048)
+
+
+class TestFindNttPrimes:
+    def test_returns_requested_count_with_congruence(self):
+        primes = find_ntt_primes(poly_degree=1024, bit_size=30, count=5)
+        assert len(primes) == 5
+        assert len(set(primes)) == 5
+        for q in primes:
+            assert is_ntt_friendly(q, 1024)
+            assert 29 <= q.bit_length() <= 31
+
+    def test_exclusion_produces_disjoint_sets(self):
+        first = find_ntt_primes(256, 25, 3)
+        second = find_ntt_primes(256, 25, 3, exclude=tuple(first))
+        assert not set(first) & set(second)
+
+    def test_rejects_non_power_of_two_degree(self):
+        with pytest.raises(ValueError):
+            find_ntt_primes(poly_degree=100, bit_size=30, count=1)
+
+    def test_rejects_too_small_bit_size(self):
+        with pytest.raises(ValueError):
+            find_ntt_primes(poly_degree=4096, bit_size=8, count=1)

@@ -1,0 +1,81 @@
+"""Tests for the public CNN workload builder."""
+
+import pytest
+
+from repro.hw import HYDRA_M, HYDRA_S
+from repro.models import CnnBuilder
+from repro.sched import Planner
+
+
+def _lenet_like():
+    b = CnnBuilder("lenet_like", input_hw=32, input_channels=3)
+    b.conv(16).relu().pool(2)
+    b.conv(32).relu().pool(2)
+    b.fc(10)
+    return b.build()
+
+
+class TestCnnBuilder:
+    def test_builds_runnable_model(self):
+        model = _lenet_like()
+        assert model.name == "lenet_like"
+        assert len(model.steps_of_kind("convbn")) == 2
+        assert len(model.steps_of_kind("pooling")) == 2
+        assert len(model.steps_of_kind("fc")) == 1
+        result = Planner(HYDRA_S).run_model(model, with_energy=False)
+        assert result.total_seconds > 0
+
+    def test_scales_out(self):
+        model = _lenet_like()
+        one = Planner(HYDRA_S).run_model(model, with_energy=False)
+        eight = Planner(HYDRA_M).run_model(model, with_energy=False)
+        assert eight.total_seconds < one.total_seconds
+
+    def test_feature_shape_tracking(self):
+        b = CnnBuilder("shapes", input_hw=64, input_channels=3)
+        b.conv(32)
+        assert b.feature_shape == (64, 64, 32)
+        b.conv(64, downsample=True)
+        assert b.feature_shape == (32, 32, 64)
+        b.pool(2)
+        assert b.feature_shape == (16, 16, 64)
+
+    def test_deep_model_inserts_bootstraps(self):
+        b = CnnBuilder("deep", input_hw=16, input_channels=8)
+        for _ in range(6):
+            b.conv(8).relu()
+        model = b.build()
+        assert len(model.steps_of_kind("bootstrap")) >= 1
+
+    def test_fluent_chaining(self):
+        model = (CnnBuilder("chain", input_hw=8, input_channels=1)
+                 .conv(4).relu().fc(2).build())
+        assert len(model.steps) >= 3
+
+    def test_build_finalizes(self):
+        b = CnnBuilder("once", input_hw=8, input_channels=1)
+        b.conv(4)
+        b.build()
+        with pytest.raises(RuntimeError):
+            b.conv(8)
+        with pytest.raises(RuntimeError):
+            b.build()
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            CnnBuilder("empty", input_hw=8).build()
+
+    def test_overpooling_rejected(self):
+        b = CnnBuilder("tiny", input_hw=2, input_channels=1)
+        b.conv(4)
+        with pytest.raises(ValueError):
+            b.pool(4)
+
+    def test_downsample_floor(self):
+        b = CnnBuilder("small", input_hw=1, input_channels=1)
+        with pytest.raises(ValueError):
+            b.conv(4, downsample=True)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CnnBuilder("bad", input_hw=0)

@@ -1,0 +1,165 @@
+"""Unit tests for RNS polynomial arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.poly import RnsContext, RnsPoly
+
+
+@pytest.fixture(scope="module")
+def rns():
+    return RnsContext.create(
+        poly_degree=64,
+        first_modulus_bits=29,
+        scale_modulus_bits=25,
+        num_scale_moduli=3,
+        special_modulus_bits=30,
+        num_special_moduli=2,
+    )
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)
+
+
+def _random_poly(rns, rng, bound=10 ** 6, basis=None):
+    basis = basis if basis is not None else rns.data_indices
+    coeffs = [int(x) for x in rng.integers(-bound, bound, rns.poly_degree)]
+    return RnsPoly.from_int_coeffs(rns, coeffs, basis), coeffs
+
+
+class TestRoundTrip:
+    def test_signed_coefficients_survive(self, rns, rng):
+        poly, coeffs = _random_poly(rns, rng)
+        assert [int(c) for c in poly.to_int_coeffs()] == coeffs
+
+    def test_uncentered_reconstruction_in_range(self, rns, rng):
+        poly, _ = _random_poly(rns, rng)
+        big_q = rns.modulus_product(poly.basis)
+        vals = poly.to_int_coeffs(centered=False)
+        assert all(0 <= int(v) < big_q for v in vals)
+
+
+class TestArithmetic:
+    def test_add_sub_roundtrip(self, rns, rng):
+        a, ca = _random_poly(rns, rng)
+        b, cb = _random_poly(rns, rng)
+        summed = a.add(b)
+        assert [int(c) for c in summed.to_int_coeffs()] == [
+            x + y for x, y in zip(ca, cb)
+        ]
+        assert [int(c) for c in summed.sub(b).to_int_coeffs()] == ca
+
+    def test_negate(self, rns, rng):
+        a, ca = _random_poly(rns, rng)
+        assert [int(c) for c in a.negate().to_int_coeffs()] == [-x for x in ca]
+
+    def test_multiply_matches_bigint_negacyclic(self, rns, rng):
+        a, ca = _random_poly(rns, rng, bound=1000)
+        b, cb = _random_poly(rns, rng, bound=1000)
+        n = rns.poly_degree
+        full = np.convolve(np.array(ca, dtype=object), np.array(cb, dtype=object))
+        expect = np.array(full[:n], dtype=object)
+        expect[: n - 1] = expect[: n - 1] - full[n:]
+        got = a.multiply(b).to_int_coeffs()
+        assert [int(x) for x in got] == [int(x) for x in expect]
+
+    def test_multiply_scalar_with_bigint(self, rns, rng):
+        a, ca = _random_poly(rns, rng, bound=100)
+        big = 12345678901234567890
+        got = a.multiply_scalar(big).to_int_coeffs()
+        big_q = rns.modulus_product(a.basis)
+        for g, c in zip(got, ca):
+            assert int(g) % big_q == (c * big) % big_q
+
+    def test_basis_mismatch_rejected(self, rns, rng):
+        a, _ = _random_poly(rns, rng)
+        b, _ = _random_poly(rns, rng, basis=(0, 1))
+        with pytest.raises(ValueError):
+            a.add(b)
+
+
+class TestAutomorphism:
+    def test_monomial_mapping(self, rns):
+        n = rns.poly_degree
+        mono = [0] * n
+        mono[1] = 1
+        poly = RnsPoly.from_int_coeffs(rns, mono, rns.data_indices)
+        out = poly.automorphism(5).to_int_coeffs()
+        assert int(out[5]) == 1
+        assert sum(abs(int(v)) for v in out) == 1
+
+    def test_wraparound_sign_flip(self, rns):
+        """X under the conjugation map X->X^(2N-1) becomes -X^(N-1)."""
+        n = rns.poly_degree
+        mono = [0] * n
+        mono[1] = 1
+        poly = RnsPoly.from_int_coeffs(rns, mono, rns.data_indices)
+        out = poly.automorphism(2 * n - 1).to_int_coeffs()
+        assert int(out[n - 1]) == -1
+
+    def test_composition(self, rns, rng):
+        a, _ = _random_poly(rns, rng)
+        composed = a.automorphism(5).automorphism(5)
+        direct = a.automorphism(25)
+        assert np.array_equal(composed.data, direct.data)
+
+    def test_even_element_rejected(self, rns, rng):
+        a, _ = _random_poly(rns, rng)
+        with pytest.raises(ValueError):
+            a.automorphism(4)
+
+    def test_is_ring_homomorphism(self, rns, rng):
+        a, _ = _random_poly(rns, rng, bound=100)
+        b, _ = _random_poly(rns, rng, bound=100)
+        g = 2 * rns.poly_degree - 1
+        lhs = a.multiply(b).automorphism(g)
+        rhs = a.automorphism(g).multiply(b.automorphism(g))
+        assert np.array_equal(lhs.data, rhs.data)
+
+
+class TestBasisOps:
+    def test_extend_then_project_is_identity(self, rns, rng):
+        a, ca = _random_poly(rns, rng)
+        ext = a.extend_basis(rns.special_indices)
+        back = ext.keep_basis(rns.data_indices)
+        assert np.array_equal(back.data, a.data)
+
+    def test_extension_values_correct(self, rns, rng):
+        a, ca = _random_poly(rns, rng, bound=10 ** 6)
+        ext = a.extend_basis(rns.special_indices)
+        ints = ext.to_int_coeffs()
+        assert [int(v) for v in ints] == ca
+
+    def test_overlapping_extension_rejected(self, rns, rng):
+        a, _ = _random_poly(rns, rng)
+        with pytest.raises(ValueError):
+            a.extend_basis((0,))
+
+    def test_rescale_divides_and_rounds(self, rns, rng):
+        q_last = rns.moduli[rns.data_indices[-1]]
+        quotients = rng.integers(-1000, 1000, rns.poly_degree)
+        remainders = rng.integers(-q_last // 4, q_last // 4, rns.poly_degree)
+        coeffs = [int(q) * q_last + int(r) for q, r in zip(quotients, remainders)]
+        poly = RnsPoly.from_int_coeffs(rns, coeffs, rns.data_indices)
+        got = poly.rescale_by_last().to_int_coeffs()
+        for g, c in zip(got, coeffs):
+            assert abs(int(g) - round(c / q_last)) <= 1
+
+    def test_rescale_single_limb_rejected(self, rns):
+        poly = RnsPoly.zeros(rns, (0,))
+        with pytest.raises(ValueError):
+            poly.rescale_by_last()
+
+    def test_mod_down_inverts_scalar_lift(self, rns, rng):
+        a, ca = _random_poly(rns, rng, bound=10 ** 6)
+        big_p = rns.modulus_product(rns.special_indices)
+        lifted = a.extend_basis(rns.special_indices).multiply_scalar(big_p)
+        back = lifted.mod_down_by(rns.special_indices).to_int_coeffs()
+        assert max(abs(int(x) - c) for x, c in zip(back, ca)) <= 2
+
+    def test_mod_down_requires_trailing_specials(self, rns, rng):
+        a, _ = _random_poly(rns, rng)
+        with pytest.raises(ValueError):
+            a.mod_down_by((1,) + rns.special_indices)

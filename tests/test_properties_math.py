@@ -1,0 +1,97 @@
+"""Property-based tests (hypothesis) for the number-theoretic core."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.math.modular import (
+    BarrettReducer,
+    is_prime,
+    mod_exp,
+    mod_inverse,
+)
+from repro.math.ntt import NttContext
+from repro.math.primes import find_ntt_primes
+
+_PRIMES = {
+    64: find_ntt_primes(64, 28, 1)[0],
+    256: find_ntt_primes(256, 28, 1)[0],
+}
+
+_SETTINGS = dict(max_examples=30, deadline=None)
+
+
+class TestModularProperties:
+    @given(st.integers(2, 10 ** 9), st.integers(0, 200),
+           st.integers(0, 200))
+    @settings(**_SETTINGS)
+    def test_mod_exp_multiplicative(self, base, e1, e2):
+        q = 1_000_003
+        lhs = mod_exp(base, e1 + e2, q)
+        rhs = mod_exp(base, e1, q) * mod_exp(base, e2, q) % q
+        assert lhs == rhs
+
+    @given(st.integers(1, 10 ** 12))
+    @settings(**_SETTINGS)
+    def test_mod_inverse_is_inverse(self, v):
+        q = 1_000_003
+        if v % q == 0:
+            return
+        assert v * mod_inverse(v, q) % q == 1
+
+    @given(st.integers(0, 2 ** 60))
+    @settings(**_SETTINGS)
+    def test_barrett_matches_mod(self, v):
+        q = 998_244_353
+        assert BarrettReducer(q).reduce(v % (q * q)) == v % (q * q) % q
+
+    @given(st.integers(2, 10 ** 6))
+    @settings(**_SETTINGS)
+    def test_is_prime_agrees_with_trial_division(self, n):
+        def trial(m):
+            if m < 2:
+                return False
+            d = 2
+            while d * d <= m:
+                if m % d == 0:
+                    return False
+                d += 1
+            return True
+
+        assert is_prime(n) == trial(n)
+
+
+class TestNttProperties:
+    @given(st.data())
+    @settings(**_SETTINGS)
+    def test_round_trip(self, data):
+        n = data.draw(st.sampled_from([64, 256]))
+        q = _PRIMES[n]
+        seed = data.draw(st.integers(0, 2 ** 31))
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, q, n, dtype=np.uint64)
+        ctx = NttContext(n, q)
+        assert np.array_equal(ctx.inverse(ctx.forward(a)), a)
+
+    @given(st.integers(0, 2 ** 31), st.integers(0, 2 ** 31))
+    @settings(**_SETTINGS)
+    def test_transform_is_linear(self, s1, s2):
+        n = 64
+        q = _PRIMES[n]
+        ctx = NttContext(n, q)
+        a = np.random.default_rng(s1).integers(0, q, n, dtype=np.uint64)
+        b = np.random.default_rng(s2).integers(0, q, n, dtype=np.uint64)
+        lhs = ctx.forward((a + b) % np.uint64(q))
+        rhs = (ctx.forward(a) + ctx.forward(b)) % np.uint64(q)
+        assert np.array_equal(lhs, rhs)
+
+    @given(st.integers(0, 2 ** 31), st.integers(0, 2 ** 31))
+    @settings(**_SETTINGS)
+    def test_multiplication_commutes(self, s1, s2):
+        n = 64
+        q = _PRIMES[n]
+        ctx = NttContext(n, q)
+        a = np.random.default_rng(s1).integers(0, q, n, dtype=np.uint64)
+        b = np.random.default_rng(s2).integers(0, q, n, dtype=np.uint64)
+        assert np.array_equal(
+            ctx.negacyclic_multiply(a, b), ctx.negacyclic_multiply(b, a)
+        )

@@ -1,0 +1,107 @@
+"""Property-based tests for RNS polynomials and the encoder."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.ckks.encoder import CkksEncoder
+from repro.poly import RnsContext, RnsPoly
+
+_SETTINGS = dict(max_examples=25, deadline=None)
+
+
+def _poly_from_seed(rns, seed, bound=1000):
+    rng = np.random.default_rng(seed)
+    coeffs = [int(c) for c in rng.integers(-bound, bound, rns.poly_degree)]
+    return RnsPoly.from_int_coeffs(rns, coeffs, rns.data_indices)
+
+
+class TestRingAxioms:
+    @given(st.integers(0, 2 ** 31), st.integers(0, 2 ** 31))
+    @settings(**_SETTINGS)
+    def test_add_commutes(self, s1, s2):
+        rns = _module_rns()
+        a, b = _poly_from_seed(rns, s1), _poly_from_seed(rns, s2)
+        assert np.array_equal(a.add(b).data, b.add(a).data)
+
+    @given(st.integers(0, 2 ** 31), st.integers(0, 2 ** 31),
+           st.integers(0, 2 ** 31))
+    @settings(**_SETTINGS)
+    def test_mul_distributes_over_add(self, s1, s2, s3):
+        rns = _module_rns()
+        a, b, c = (_poly_from_seed(rns, s) for s in (s1, s2, s3))
+        lhs = a.multiply(b.add(c))
+        rhs = a.multiply(b).add(a.multiply(c))
+        assert np.array_equal(lhs.data, rhs.data)
+
+    @given(st.integers(0, 2 ** 31))
+    @settings(**_SETTINGS)
+    def test_negate_is_additive_inverse(self, s):
+        rns = _module_rns()
+        a = _poly_from_seed(rns, s)
+        zero = a.add(a.negate())
+        assert not zero.data.any()
+
+    @given(st.integers(0, 2 ** 31), st.sampled_from([3, 5, 127]))
+    @settings(**_SETTINGS)
+    def test_automorphism_is_additive(self, s, g):
+        rns = _module_rns()
+        a = _poly_from_seed(rns, s)
+        b = _poly_from_seed(rns, s + 1)
+        lhs = a.add(b).automorphism(g)
+        rhs = a.automorphism(g).add(b.automorphism(g))
+        assert np.array_equal(lhs.data, rhs.data)
+
+    @given(st.integers(0, 2 ** 31))
+    @settings(**_SETTINGS)
+    def test_crt_round_trip(self, s):
+        rns = _module_rns()
+        rng = np.random.default_rng(s)
+        coeffs = [int(c) for c in rng.integers(-10 ** 8, 10 ** 8, 64)]
+        poly = RnsPoly.from_int_coeffs(rns, coeffs, rns.data_indices)
+        assert [int(c) for c in poly.to_int_coeffs()] == coeffs
+
+
+_RNS_SINGLETON = None
+
+
+def _module_rns():
+    global _RNS_SINGLETON
+    if _RNS_SINGLETON is None:
+        _RNS_SINGLETON = RnsContext.create(
+            poly_degree=64, first_modulus_bits=29, scale_modulus_bits=25,
+            num_scale_moduli=2, special_modulus_bits=30,
+            num_special_moduli=1,
+        )
+    return _RNS_SINGLETON
+
+
+class TestEncoderProperties:
+    @given(st.integers(0, 2 ** 31))
+    @settings(**_SETTINGS)
+    def test_round_trip(self, seed):
+        enc = CkksEncoder(64)
+        rng = np.random.default_rng(seed)
+        z = rng.normal(size=32) + 1j * rng.normal(size=32)
+        back = enc.coeffs_to_slots(enc.slots_to_coeffs(z))
+        assert np.max(np.abs(back - z)) < 1e-8
+
+    @given(st.integers(0, 2 ** 31),
+           st.floats(-4.0, 4.0, allow_nan=False))
+    @settings(**_SETTINGS)
+    def test_scaling_linearity(self, seed, factor):
+        enc = CkksEncoder(64)
+        rng = np.random.default_rng(seed)
+        z = rng.normal(size=32) + 1j * rng.normal(size=32)
+        lhs = enc.slots_to_coeffs(factor * z)
+        rhs = factor * enc.slots_to_coeffs(z)
+        assert np.max(np.abs(lhs - rhs)) < 1e-8
+
+    @given(st.integers(0, 2 ** 31))
+    @settings(**_SETTINGS)
+    def test_real_slots_give_symmetric_spectrum(self, seed):
+        """Real slot vectors encode with real coefficients by design."""
+        enc = CkksEncoder(64)
+        rng = np.random.default_rng(seed)
+        z = rng.normal(size=32).astype(complex)
+        coeffs = enc.slots_to_coeffs(z)
+        assert np.max(np.abs(np.imag(coeffs))) < 1e-12

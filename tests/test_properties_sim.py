@@ -1,0 +1,105 @@
+"""Property-based tests for the discrete-event simulator.
+
+Random well-formed programs are generated and executed; the invariants
+checked are the ones Procedure-1 semantics guarantee regardless of the
+schedule: completion without deadlock, makespan lower bounds, and
+conservation of accounted work.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw import hydra_cluster
+from repro.sim import ProgramBuilder, Simulator, validate_programs
+
+_SETTINGS = dict(max_examples=25, deadline=None)
+
+
+def _random_programs(seed, n_nodes, n_rounds):
+    """A random but well-formed schedule: rounds of compute + transfers.
+
+    Every transfer is emitted round-major with matched pairs, and every
+    receive is consumed by a CT_d task in a later round, so programs are
+    deadlock-free by construction.
+    """
+    rng = np.random.default_rng(seed)
+    b = ProgramBuilder(n_nodes)
+    pending_recvs = [0] * n_nodes
+    for _ in range(n_rounds):
+        produced = {}
+        for node in range(n_nodes):
+            consume = pending_recvs[node] > 0
+            if consume:
+                pending_recvs[node] -= 1
+            produced[node] = b.compute(
+                node, float(rng.uniform(0.001, 0.01)), tag="work",
+                needs_recv=consume,
+            )
+        for node in range(n_nodes):
+            if n_nodes > 1 and rng.random() < 0.6:
+                dst = int(rng.integers(0, n_nodes - 1))
+                dst = dst if dst < node else dst + 1
+                b.transfer(node, dst, float(rng.uniform(1e4, 1e6)),
+                           after=produced[node], tag="xfer")
+                pending_recvs[dst] += 1
+    # Drain unconsumed receives with zero-cost CT_d tasks.
+    for node in range(n_nodes):
+        for _ in range(pending_recvs[node]):
+            b.compute(node, 0.0, tag="drain", needs_recv=True)
+    return b.build()
+
+
+class TestRandomPrograms:
+    @given(st.integers(0, 10 ** 6), st.sampled_from([2, 4, 8]),
+           st.integers(1, 6))
+    @settings(**_SETTINGS)
+    def test_completes_without_deadlock(self, seed, nodes, rounds):
+        programs = _random_programs(seed, nodes, rounds)
+        validate_programs(programs)
+        result = Simulator(hydra_cluster(1, nodes)).run(programs)
+        assert result.makespan >= 0
+
+    @given(st.integers(0, 10 ** 6), st.sampled_from([2, 4]),
+           st.integers(1, 5))
+    @settings(**_SETTINGS)
+    def test_makespan_bounds(self, seed, nodes, rounds):
+        programs = _random_programs(seed, nodes, rounds)
+        result = Simulator(hydra_cluster(1, nodes)).run(programs)
+        # Lower bound: the busiest node's pure compute time.
+        busiest = max(n.compute_busy for n in result.nodes)
+        assert result.makespan >= busiest - 1e-12
+        # Upper bound: fully serialized everything.
+        serial = (result.total_compute_busy
+                  + sum(n.comm_busy for n in result.nodes)
+                  + result.transfers * 1.0)  # generous latency slack
+        assert result.makespan <= serial + 1e-9
+
+    @given(st.integers(0, 10 ** 6), st.sampled_from([2, 4]),
+           st.integers(1, 5))
+    @settings(**_SETTINGS)
+    def test_work_conservation(self, seed, nodes, rounds):
+        """Accounted compute equals the sum of task durations."""
+        programs = _random_programs(seed, nodes, rounds)
+        expected = sum(t.duration for p in programs for t in p.compute)
+        result = Simulator(hydra_cluster(1, nodes)).run(programs)
+        assert result.total_compute_busy == pytest.approx(expected)
+        assert sum(result.tag_compute.values()) == pytest.approx(expected)
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(**_SETTINGS)
+    def test_comm_overhead_fraction_in_unit_interval(self, seed):
+        programs = _random_programs(seed, 4, 4)
+        result = Simulator(hydra_cluster(1, 4)).run(programs)
+        assert 0.0 <= result.comm_overhead_fraction <= 1.0
+
+    @given(st.integers(0, 10 ** 6), st.integers(1, 4))
+    @settings(**_SETTINGS)
+    def test_deterministic(self, seed, rounds):
+        """Same programs, same cluster -> identical makespan."""
+        cluster = hydra_cluster(1, 4)
+        p1 = _random_programs(seed, 4, rounds)
+        p2 = _random_programs(seed, 4, rounds)
+        m1 = Simulator(cluster).run(p1).makespan
+        m2 = Simulator(cluster).run(p2).makespan
+        assert m1 == m2

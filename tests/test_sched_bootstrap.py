@@ -1,0 +1,144 @@
+"""Unit tests for bootstrapping scheduling: Eq. 1, Table V, mapping."""
+
+import math
+
+import pytest
+
+from repro.cost import OpCostModel
+from repro.hw import HYDRA_CARD, hydra_cluster
+from repro.sched import (
+    DftParameters,
+    choose_boot_group_size,
+    dft_time_model,
+    estimate_bootstrap_time,
+    map_bootstrap,
+    optimal_dft_parameters,
+)
+from repro.sim import ProgramBuilder, Simulator
+
+
+@pytest.fixture(scope="module")
+def cost():
+    return OpCostModel(HYDRA_CARD)
+
+
+class TestDftParameters:
+    def test_bs_must_divide_2r(self):
+        with pytest.raises(ValueError):
+            DftParameters(radices=(16,), baby_steps=(3,))
+
+    def test_giant_steps(self):
+        p = DftParameters(radices=(16, 16, 16), baby_steps=(4, 4, 4))
+        assert p.giant_steps == (8, 8, 8)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DftParameters(radices=(16, 16), baby_steps=(4,))
+
+
+class TestEq1Model:
+    def test_single_card_has_no_comm_term(self, cost):
+        t1 = dft_time_model(cost, 30, radix=16, bs=4, num_cards=1)
+        rot = cost.rotation(30).seconds
+        pmult = cost.pmult(30).seconds
+        hadd = cost.hadd(30).seconds
+        # T_bs + T_gs + local accumulation per Eq. 1.
+        gs = 8
+        expected = (4 * rot
+                    + (4 * pmult + 3 * hadd + rot) * gs
+                    + (gs - 1) * hadd)
+        assert t1 == pytest.approx(expected)
+
+    def test_more_cards_reduce_time(self, cost):
+        times = [dft_time_model(cost, 30, 64, 2, n) for n in (1, 4, 16)]
+        assert times[0] > times[1] > times[2]
+
+    def test_invalid_bs_rejected(self, cost):
+        with pytest.raises(ValueError):
+            dft_time_model(cost, 30, radix=16, bs=3, num_cards=1)
+
+
+class TestTableV:
+    """Parameter-selection shape from paper Table V."""
+
+    def test_radix_exponents_sum_to_slots(self, cost):
+        for slots_log in (12, 13, 14, 15):
+            params, _ = optimal_dft_parameters(cost, slots_log, 1)
+            assert sum(int(math.log2(r)) for r in params.radices) \
+                == slots_log
+
+    def test_bs_shrinks_with_more_cards(self, cost):
+        """Hydra-L chooses smaller bs than Hydra-M than Hydra-S: under
+        more computing nodes a larger gs can exert its parallelism
+        (paper Section V-G)."""
+        for slots_log in (12, 15):
+            bs_by_cards = {}
+            for cards in (1, 8, 64):
+                params, _ = optimal_dft_parameters(cost, slots_log, cards)
+                bs_by_cards[cards] = sum(params.baby_steps)
+            assert bs_by_cards[64] <= bs_by_cards[8] <= bs_by_cards[1]
+
+    def test_optimum_beats_fixed_choice(self, cost):
+        params, best = optimal_dft_parameters(cost, 12, 8)
+        fixed = sum(
+            dft_time_model(cost, max(0, cost.params.max_level - i),
+                           16, 8, 8)
+            for i in range(3)
+        )
+        assert best <= fixed + 1e-12
+
+
+class TestGroupSizing:
+    def test_many_jobs_prefer_small_groups(self, cost):
+        g = choose_boot_group_size(cost, 64, num_jobs=64, slots_log=15)
+        assert g == 1
+
+    def test_single_job_prefers_wider_group(self, cost):
+        g1 = choose_boot_group_size(cost, 64, num_jobs=1, slots_log=15)
+        g64 = choose_boot_group_size(cost, 64, num_jobs=64, slots_log=15)
+        assert g1 > g64
+
+    def test_slow_fabric_prefers_narrow_groups(self, cost):
+        fast = choose_boot_group_size(cost, 8, 1, 15,
+                                      comm_bandwidth=12.5e9)
+        slow = choose_boot_group_size(cost, 8, 1, 15,
+                                      comm_bandwidth=1.25e8)
+        assert slow <= fast
+
+    def test_estimate_monotone_left_of_optimum(self, cost):
+        t1 = estimate_bootstrap_time(cost, 15, 1)
+        t4 = estimate_bootstrap_time(cost, 15, 4)
+        assert t4 < t1
+
+
+class TestMapBootstrap:
+    def _run(self, n_cards, group):
+        cost = OpCostModel(HYDRA_CARD)
+        b = ProgramBuilder(n_cards)
+        map_bootstrap(b, cost, group, tag="Boot")
+        res = Simulator(hydra_cluster(1, n_cards)).run(b.build())
+        return res
+
+    def test_single_card_boot(self):
+        res = self._run(1, [0])
+        assert res.makespan > 0
+        assert res.bytes_transferred == 0
+
+    def test_group_boot_faster_than_single(self):
+        one = self._run(1, [0]).makespan
+        eight = self._run(8, list(range(8))).makespan
+        assert eight < one
+
+    def test_boot_transfers_are_bounded(self):
+        """Aggregation trees + result multicasts, not all-to-all."""
+        res = self._run(8, list(range(8)))
+        # 6 matvecs x (7 tree transfers + 7 multicast recvs) + EvaExp
+        # traffic; far below all-to-all (8*7 per exchange x many rounds).
+        assert res.transfers < 200
+
+    def test_level_accounting(self):
+        cost = OpCostModel(HYDRA_CARD)
+        b = ProgramBuilder(1)
+        end_level = map_bootstrap(b, cost, [0], tag="Boot")
+        consumed = cost.params.max_level - end_level
+        assert 10 <= consumed <= 16  # 3 + ~6 + 2 + 3

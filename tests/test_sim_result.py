@@ -1,0 +1,74 @@
+"""Unit tests for simulation result accounting and merging."""
+
+import pytest
+
+from repro.cost.model import OpComponents
+from repro.sim.result import NodeStats, SimResult
+
+
+def _result(makespan, busy, nodes=2, tags=None):
+    r = SimResult(makespan=makespan,
+                  nodes=[NodeStats(compute_busy=busy) for _ in range(nodes)])
+    if tags:
+        r.tag_compute = dict(tags)
+    return r
+
+
+class TestCommOverhead:
+    def test_fully_busy_nodes_have_zero_overhead(self):
+        r = _result(10.0, 10.0)
+        assert r.comm_overhead_fraction == 0.0
+
+    def test_half_idle(self):
+        r = _result(10.0, 5.0)
+        assert r.comm_overhead_fraction == pytest.approx(0.5)
+
+    def test_empty_result(self):
+        assert SimResult().comm_overhead_fraction == 0.0
+
+
+class TestMergeSequential:
+    def test_makespans_add(self):
+        a = _result(3.0, 2.0)
+        b = _result(5.0, 4.0)
+        a.merge_sequential(b)
+        assert a.makespan == pytest.approx(8.0)
+        assert a.nodes[0].compute_busy == pytest.approx(6.0)
+
+    def test_tags_merge(self):
+        a = _result(1.0, 1.0, tags={"ConvBN": 1.0})
+        b = _result(1.0, 1.0, tags={"ConvBN": 2.0, "Boot": 3.0})
+        a.merge_sequential(b)
+        assert a.tag_compute == {"ConvBN": 3.0, "Boot": 3.0}
+
+    def test_merge_into_empty(self):
+        a = SimResult()
+        b = _result(2.0, 1.0)
+        a.merge_sequential(b)
+        assert a.makespan == 2.0
+        assert len(a.nodes) == 2
+
+    def test_node_count_mismatch_rejected(self):
+        a = _result(1.0, 1.0, nodes=2)
+        b = _result(1.0, 1.0, nodes=4)
+        with pytest.raises(ValueError):
+            a.merge_sequential(b)
+
+    def test_components_merge(self):
+        a = SimResult(nodes=[NodeStats()],
+                      components_total=OpComponents(ntt_s=1.0))
+        b = SimResult(nodes=[NodeStats()],
+                      components_total=OpComponents(ntt_s=2.0))
+        a.merge_sequential(b)
+        assert a.components_total.ntt_s == pytest.approx(3.0)
+
+    def test_bytes_and_transfers_accumulate(self):
+        a = _result(1.0, 1.0)
+        a.bytes_transferred = 10.0
+        a.transfers = 1
+        b = _result(1.0, 1.0)
+        b.bytes_transferred = 20.0
+        b.transfers = 2
+        a.merge_sequential(b)
+        assert a.bytes_transferred == 30.0
+        assert a.transfers == 3
