@@ -1,13 +1,16 @@
 """Shared helpers for the per-table/figure benchmark harnesses.
 
 Every harness regenerates one table or figure of the paper's evaluation
-section and prints it in paper layout.  Full-model simulations are cached
-process-wide (see :mod:`repro.core.system`), so the suite shares runs.
+section and prints it in paper layout.  Full-model simulations go
+through :mod:`repro.runtime`, so the suite shares runs via the
+process-wide result cache — and, when ``$REPRO_CACHE_DIR`` is set,
+through the persistent on-disk cache, making repeated suite invocations
+near-instant.
 """
 
 from __future__ import annotations
 
-from repro.core import run_benchmark
+from repro.runtime import RunRequest, run_one
 
 BENCHMARK_LABELS = {
     "resnet18": "ResNet-18",
@@ -23,8 +26,17 @@ LLM_BENCHMARKS = ("bert_base", "opt_6_7b")
 
 
 def run(benchmark, system, with_energy=True):
-    """Cached full-model run."""
-    return run_benchmark(benchmark, system, with_energy=with_energy)
+    """Cached full-model run on a named deployment."""
+    request = RunRequest(benchmark=benchmark, system=system,
+                         with_energy=with_energy)
+    return run_one(request).result
+
+
+def run_cluster(benchmark, cluster, with_energy=True):
+    """Cached full-model run on an explicit :class:`ClusterSpec`."""
+    request = RunRequest(benchmark=benchmark, cluster=cluster,
+                         with_energy=with_energy)
+    return run_one(request).result
 
 
 def procedure_order(benchmark):

@@ -9,10 +9,9 @@ high growth rate; ResNet-18's communication share grows fastest while
 OPT's grows slowest.
 """
 
-from _harness import ALL_BENCHMARKS, BENCHMARK_LABELS, run
+from _harness import ALL_BENCHMARKS, BENCHMARK_LABELS, run, run_cluster
 
 from repro.analysis import format_table
-from repro.core import HydraSystem
 from repro.hw import hydra_cluster
 
 _CARD_COUNTS = (1, 2, 4, 8, 16, 32, 64)
@@ -34,8 +33,8 @@ def _run(bench, cards):
         return run(bench, name, with_energy=False)
     servers = 1 if cards <= 8 else cards // 8
     per_server = cards if cards <= 8 else 8
-    system = HydraSystem(hydra_cluster(servers, per_server))
-    return system.run(bench, with_energy=False)
+    return run_cluster(bench, hydra_cluster(servers, per_server),
+                       with_energy=False)
 
 
 def build_fig9():

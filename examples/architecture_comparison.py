@@ -4,21 +4,23 @@ fabric matters.
 Runs ResNet-18 on every predefined deployment (Hydra prototypes, FAB's
 host-mediated multi-card architecture, Poseidon), with the *same* task
 mapping everywhere, and prints runtime, speedup, and communication
-overhead — a miniature of paper Table II + Fig. 8.
+overhead — a miniature of paper Table II + Fig. 8.  The deployments are
+fanned out over worker processes through the parallel runtime.
 
     python examples/architecture_comparison.py
 """
 
 from repro.analysis import format_table
-from repro.core import available_systems, run_benchmark
+from repro.runtime import execute, paper_grid
 
 
 def main():
     benchmark = "resnet18"
     print(f"Benchmark: {benchmark} (ImageNet, FHE, paper parameters)\n")
+    outcome = execute(paper_grid(benchmarks=[benchmark],
+                                 with_energy=False), jobs=4)
     results = {
-        name: run_benchmark(benchmark, name, with_energy=False)
-        for name in available_systems()
+        rr.request.system_name: rr.result for rr in outcome
     }
     fab_s = results["FAB-S"].total_seconds
     rows = []
@@ -43,6 +45,7 @@ def main():
         f"FAB-M purely from the DTU + switch fabric and hardware "
         f"handshake synchronization (paper Section V-B)."
     )
+    print(f"\nruntime: {outcome.manifest.summary()}")
 
 
 if __name__ == "__main__":

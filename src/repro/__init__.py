@@ -13,12 +13,15 @@ A full-system reproduction of the HPCA 2025 paper, comprising:
 * :mod:`repro.models` — the four benchmark workloads of Table I;
 * :mod:`repro.baselines` — FAB, Poseidon, and ASIC reference points;
 * :mod:`repro.core` — the :class:`~repro.core.HydraSystem` facade;
+* :mod:`repro.runtime` — the parallel experiment runtime: declarative
+  run requests, process-pool fan-out with deterministic merging, the
+  persistent fingerprint-keyed result cache, and run manifests;
 * :mod:`repro.analysis` — censuses and table rendering for the
   experiment harnesses in ``benchmarks/``.
 """
 
 from repro.core import HydraSystem, run_benchmark
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["HydraSystem", "run_benchmark", "__version__"]

@@ -4,6 +4,7 @@ from repro.core.system import (
     HydraSystem,
     available_benchmarks,
     available_systems,
+    cluster_named,
     clear_run_cache,
     run_benchmark,
 )
@@ -12,6 +13,7 @@ __all__ = [
     "HydraSystem",
     "available_benchmarks",
     "available_systems",
+    "cluster_named",
     "clear_run_cache",
     "run_benchmark",
 ]

@@ -7,14 +7,22 @@ Commands
 ``run -s SYSTEM -b BENCHMARK``
     Simulate one benchmark; prints runtime, per-procedure spans,
     communication overhead and energy.
-``sweep -b BENCHMARK --cards 1 2 4 8 ...``
-    Card-count scaling study (paper Fig. 9 style).
+``bench --jobs N [--no-cache] [--json]``
+    Full paper evaluation grid (every deployment x every benchmark)
+    through the parallel runtime with the persistent result cache
+    (``$REPRO_CACHE_DIR`` or ``~/.cache/repro-hydra/``); repeated
+    invocations are served from cache.
+``sweep -b BENCHMARK --cards 1 2 4 8 ... [--jobs N]``
+    Card-count scaling study (paper Fig. 9 style), fanned out over
+    worker processes.
 ``resources``
     Single-card FPGA utilization (paper Table IV).
 ``dft --slots N --cards C``
     Optimal bootstrapping DFT parameters (paper Table V / Eq. 1).
 ``trace -s SYSTEM -b BENCHMARK --step NAME``
     Text Gantt chart of one scheduled step.
+``report -b BENCHMARK``
+    Compact full-system comparison (Table II style).
 """
 
 from __future__ import annotations
@@ -46,10 +54,29 @@ def build_parser():
     run_p.add_argument("-b", "--benchmark", default="resnet18")
     run_p.add_argument("--no-energy", action="store_true")
 
+    bench_p = sub.add_parser(
+        "bench", help="full paper grid via the parallel runtime")
+    bench_p.add_argument("-s", "--systems", nargs="+", default=None,
+                         help="deployments (default: all)")
+    bench_p.add_argument("-b", "--benchmarks", nargs="+", default=None,
+                         help="benchmarks (default: all)")
+    bench_p.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for cache misses")
+    bench_p.add_argument("--no-cache", action="store_true",
+                         help="bypass the persistent result cache")
+    bench_p.add_argument("--cache-dir", default=None,
+                         help="cache directory (default: $REPRO_CACHE_DIR "
+                              "or ~/.cache/repro-hydra)")
+    bench_p.add_argument("--no-energy", action="store_true")
+    bench_p.add_argument("--json", action="store_true",
+                         help="print results + manifest as JSON")
+
     sweep_p = sub.add_parser("sweep", help="card-count scaling study")
     sweep_p.add_argument("-b", "--benchmark", default="resnet18")
     sweep_p.add_argument("--cards", type=int, nargs="+",
                          default=[1, 2, 4, 8, 16, 32, 64])
+    sweep_p.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for cache misses")
 
     sub.add_parser("resources", help="FPGA utilization (Table IV)")
 
@@ -92,16 +119,78 @@ def _cmd_run(args, out):
     return 0
 
 
+def _cmd_bench(args, out):
+    import json as _json
+
+    from repro.runtime import DiskCache, execute, paper_grid
+
+    requests = paper_grid(
+        systems=args.systems,
+        benchmarks=args.benchmarks,
+        with_energy=not args.no_energy,
+    )
+    cache = None if args.no_cache else DiskCache(args.cache_dir)
+    outcome = execute(requests, jobs=args.jobs, cache=cache,
+                      use_cache=not args.no_cache)
+    manifest = outcome.manifest
+
+    if args.json:
+        out(_json.dumps({
+            "results": [
+                {
+                    "system": rr.request.system_name,
+                    "benchmark": rr.request.benchmark,
+                    "total_seconds": rr.result.total_seconds,
+                    "comm_overhead_fraction":
+                        rr.result.comm_overhead_fraction,
+                    "energy_joules": (
+                        None if rr.result.energy is None
+                        else rr.result.energy.total
+                    ),
+                    "cache_hit": rr.cache_hit,
+                }
+                for rr in outcome
+            ],
+            "manifest": manifest.to_dict(),
+        }, indent=2, sort_keys=True))
+        return 0
+
+    table = outcome.by_label()
+    systems = args.systems or available_systems()
+    benchmarks = args.benchmarks or available_benchmarks()
+    rows = [
+        [name] + [table[(name, b)].total_seconds for b in benchmarks]
+        for name in systems
+    ]
+    out(format_table(
+        ["System"] + list(benchmarks), rows,
+        title="Full evaluation grid — execution time (s)",
+    ))
+    out("")
+    out(manifest.summary())
+    if cache is not None:
+        out(f"cache: {cache.directory} ({len(cache)} entries)")
+    return 0
+
+
 def _cmd_sweep(args, out):
     from repro.hw import hydra_cluster
+    from repro.runtime import MemoryCache, RunRequest, execute
 
-    rows = []
-    base = None
+    requests = []
     for cards in args.cards:
         servers = 1 if cards <= 8 else -(-cards // 8)
         per_server = cards if cards <= 8 else 8
-        system = HydraSystem(hydra_cluster(servers, per_server))
-        r = system.run(args.benchmark, with_energy=False)
+        requests.append(RunRequest(
+            benchmark=args.benchmark,
+            cluster=hydra_cluster(servers, per_server),
+            with_energy=False,
+        ))
+    outcome = execute(requests, jobs=args.jobs, cache=MemoryCache())
+    rows = []
+    base = None
+    for cards, rr in zip(args.cards, outcome):
+        r = rr.result
         if base is None:
             base = r
         speedup = base.total_seconds / r.total_seconds
@@ -196,6 +285,7 @@ def _cmd_report(args, out):
 _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
+    "bench": _cmd_bench,
     "sweep": _cmd_sweep,
     "resources": _cmd_resources,
     "dft": _cmd_dft,

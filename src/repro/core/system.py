@@ -10,23 +10,37 @@ synchronization machinery, behind one class::
     result = system.run("resnet18")
     print(result.total_seconds, result.comm_overhead_fraction)
 
-A process-wide cache keyed by (benchmark, cluster) lets the nine
-benchmark harnesses share full-model simulations.
+Results are cached through an injectable :class:`repro.runtime.RunCache`
+keyed by the *full* configuration fingerprint (cluster, CKKS parameters,
+calibration, planner rounds, code version — see
+:mod:`repro.runtime.fingerprint`), so deployments that differ in any
+modelled quantity never serve each other's results.  By default all
+``HydraSystem`` instances share the process-wide
+:func:`repro.runtime.default_cache`; pass ``cache=`` to isolate, or use
+:class:`repro.runtime.DiskCache` for persistence across processes.
+
+The old module-level helpers ``run_benchmark`` / ``clear_run_cache``
+remain as deprecated shims; new code should use :mod:`repro.runtime`.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.baselines.fab import FAB_L, FAB_M, FAB_S
 from repro.baselines.poseidon import POSEIDON
 from repro.hw.cluster import HYDRA_L, HYDRA_M, HYDRA_S, hydra_cluster
 from repro.models import BENCHMARKS
+from repro.runtime.cache import default_cache
+from repro.runtime.fingerprint import run_key as _run_key
 from repro.sched.planner import Planner
 
 __all__ = [
     "HydraSystem",
-    "run_benchmark",
     "available_benchmarks",
     "available_systems",
+    "cluster_named",
+    "run_benchmark",
     "clear_run_cache",
 ]
 
@@ -40,8 +54,6 @@ _SYSTEMS = {
     "Poseidon": POSEIDON,
 }
 
-_RUN_CACHE = {}
-
 
 def available_benchmarks():
     """Names of the paper's four benchmarks."""
@@ -53,16 +65,35 @@ def available_systems():
     return list(_SYSTEMS)
 
 
-def clear_run_cache():
-    _RUN_CACHE.clear()
+def cluster_named(name):
+    """The :class:`~repro.hw.ClusterSpec` of a predefined deployment."""
+    try:
+        return _SYSTEMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown system {name!r}; available: {available_systems()}"
+        ) from None
 
 
 class HydraSystem:
-    """One deployment (cluster + planner) ready to run benchmarks."""
+    """One deployment (cluster + planner) ready to run benchmarks.
 
-    def __init__(self, cluster, **planner_kwargs):
+    Parameters
+    ----------
+    cluster:
+        The deployment's :class:`~repro.hw.ClusterSpec`.
+    cache:
+        A :class:`repro.runtime.RunCache` for results; None shares the
+        process-wide :func:`repro.runtime.default_cache`.
+    **planner_kwargs:
+        Forwarded to :class:`~repro.sched.Planner` (``params``,
+        ``calibration``, ``rounds``).
+    """
+
+    def __init__(self, cluster, cache=None, **planner_kwargs):
         self.cluster = cluster
         self.planner = Planner(cluster, **planner_kwargs)
+        self.cache = default_cache() if cache is None else cache
 
     # ------------------------------------------------------------------
     # Prototype constructors (paper Section V-A)
@@ -91,12 +122,7 @@ class HydraSystem:
 
     @classmethod
     def named(cls, name, **kw):
-        try:
-            return cls(_SYSTEMS[name], **kw)
-        except KeyError:
-            raise KeyError(
-                f"unknown system {name!r}; available: {available_systems()}"
-            ) from None
+        return cls(cluster_named(name), **kw)
 
     # ------------------------------------------------------------------
 
@@ -113,23 +139,68 @@ class HydraSystem:
                 f"{available_benchmarks()}"
             ) from None
 
-    def run(self, benchmark, with_energy=True, use_cache=True):
-        """Run one benchmark to completion; returns a ModelRunResult."""
+    def run_key(self, benchmark, with_energy=True, model=None):
+        """Cache key of one run under this system's full configuration."""
+        planner = self.planner
+        return _run_key(
+            self.cluster, planner.params, planner.calibration,
+            planner.rounds, benchmark, with_energy, model=model,
+        )
+
+    def run(self, benchmark, *, with_energy=True, use_cache=True):
+        """Run one benchmark to completion; returns a ModelRunResult.
+
+        ``benchmark`` is a registered name or a
+        :class:`~repro.models.ModelGraph`; everything after it is
+        keyword-only.
+        """
         if isinstance(benchmark, str):
             model = self.build_model(benchmark)
-            key = (benchmark, self.cluster.name, with_energy)
+            key = self.run_key(benchmark, with_energy=with_energy)
         else:
             model = benchmark
-            key = (model.name, self.cluster.name, with_energy)
-        if use_cache and key in _RUN_CACHE:
-            return _RUN_CACHE[key]
+            key = self.run_key(model.name, with_energy=with_energy,
+                               model=model)
+        if use_cache:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
         result = self.planner.run_model(model, with_energy=with_energy)
         if use_cache:
-            _RUN_CACHE[key] = result
+            self.cache.put(key, result)
         return result
 
 
+# ----------------------------------------------------------------------
+# Deprecated shims (pre-runtime API)
+# ----------------------------------------------------------------------
+
+
 def run_benchmark(benchmark, system_name, with_energy=True):
-    """Convenience: run ``benchmark`` on the named deployment (cached)."""
+    """Deprecated: run ``benchmark`` on the named deployment (cached).
+
+    Use ``repro.runtime.run_one(RunRequest(benchmark=..., system=...))``
+    or ``HydraSystem.named(name).run(benchmark)`` instead.
+    """
+    warnings.warn(
+        "run_benchmark() is deprecated; use repro.runtime.run_one("
+        "RunRequest(...)) or HydraSystem.named(...).run(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return HydraSystem.named(system_name).run(benchmark,
                                               with_energy=with_energy)
+
+
+def clear_run_cache():
+    """Deprecated: clear the process-wide default result cache.
+
+    Use ``repro.runtime.default_cache().clear()`` instead.
+    """
+    warnings.warn(
+        "clear_run_cache() is deprecated; use "
+        "repro.runtime.default_cache().clear()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    default_cache().clear()

@@ -48,6 +48,16 @@ class EnergyAccumulator:
             return {c: 0.0 for c in self.joules}
         return {c: j / total for c, j in self.joules.items()}
 
+    def to_dict(self):
+        """JSON-serializable form (exact float round-trip)."""
+        return {"joules": dict(self.joules)}
+
+    @classmethod
+    def from_dict(cls, data):
+        acc = cls()
+        acc.joules.update(data["joules"])
+        return acc
+
 
 class EnergyModel:
     """Converts :class:`repro.cost.OpComponents` streams into energy."""

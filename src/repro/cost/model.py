@@ -10,6 +10,7 @@ memory-intensive FHE accelerators (FAB, MAD, Poseidon all reason this way).
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
 
@@ -71,6 +72,14 @@ class OpComponents:
             hbm_bytes=self.hbm_bytes * factor,
             hbm_s=self.hbm_s * factor,
         )
+
+    def to_dict(self):
+        """JSON-serializable form (exact float round-trip)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
 
 
 class OpCostModel:

@@ -1,0 +1,236 @@
+"""Run-result caches: in-memory and persistent on-disk (JSON).
+
+The disk cache lives under ``$REPRO_CACHE_DIR`` (or
+``~/.cache/repro-hydra/`` when unset), one JSON file per fingerprint
+key, written atomically.  Because keys are full configuration
+fingerprints (:mod:`repro.runtime.fingerprint`), entries never go stale:
+any change to cluster, CKKS parameters, calibration, planner rounds, or
+simulation code lands on a different key, and orphaned entries are just
+never read again.
+
+:func:`default_cache` is the process-wide cache that
+:class:`~repro.core.HydraSystem` uses when none is injected — an
+in-memory cache normally, or a disk cache when ``$REPRO_CACHE_DIR`` is
+set.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.sched.planner import ModelRunResult
+
+__all__ = [
+    "CacheStats",
+    "RunCache",
+    "MemoryCache",
+    "DiskCache",
+    "default_cache",
+    "set_default_cache",
+    "default_cache_dir",
+]
+
+#: Environment variable overriding the persistent cache directory.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: On-disk payload format; bump when the serialized layout changes.
+_FORMAT = 1
+
+
+def default_cache_dir():
+    """Resolve the persistent cache directory (not created yet)."""
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-hydra"
+
+
+@dataclass
+class CacheStats:
+    """Lookup accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self):
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class RunCache:
+    """Maps fingerprint keys to :class:`ModelRunResult` objects.
+
+    Subclasses implement ``_load`` / ``_store`` / ``clear`` /
+    ``__contains__`` / ``__len__``; ``get``/``put`` add stats accounting.
+    """
+
+    def __init__(self):
+        self.stats = CacheStats()
+
+    def get(self, key):
+        """The cached result for ``key``, or None (counted as hit/miss)."""
+        result = self._load(key)
+        if result is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return result
+
+    def put(self, key, result):
+        self.stats.puts += 1
+        self._store(key, result)
+
+    def _load(self, key):
+        raise NotImplementedError
+
+    def _store(self, key, result):
+        raise NotImplementedError
+
+    def clear(self):
+        raise NotImplementedError
+
+    def __contains__(self, key):
+        raise NotImplementedError
+
+    def __len__(self):
+        raise NotImplementedError
+
+
+class MemoryCache(RunCache):
+    """Process-local dictionary cache (shared object identity)."""
+
+    def __init__(self):
+        super().__init__()
+        self._entries = {}
+
+    def _load(self, key):
+        return self._entries.get(key)
+
+    def _store(self, key, result):
+        self._entries[key] = result
+
+    def clear(self):
+        self._entries.clear()
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    def __len__(self):
+        return len(self._entries)
+
+
+class DiskCache(RunCache):
+    """Persistent JSON cache, one file per key, atomic writes.
+
+    Parameters
+    ----------
+    directory:
+        Cache root; defaults to ``$REPRO_CACHE_DIR`` or
+        ``~/.cache/repro-hydra``.  Created on first write.
+    memory:
+        Keep a read-through in-memory layer so repeated lookups in one
+        process parse each file at most once.
+    """
+
+    def __init__(self, directory=None, memory=True):
+        super().__init__()
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self._memory = {} if memory else None
+
+    def _path(self, key):
+        return self.directory / f"{key}.json"
+
+    def _load(self, key):
+        if self._memory is not None and key in self._memory:
+            return self._memory[key]
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload.get("format") != _FORMAT:
+                return None
+            result = ModelRunResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, corrupt, or incompatible entry — treat as a miss;
+            # a fresh run will overwrite it.
+            return None
+        if self._memory is not None:
+            self._memory[key] = result
+        return result
+
+    def _store(self, key, result):
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {"format": _FORMAT, "key": key, "result": result.to_dict()}
+        # Keep dict insertion order on disk: derived quantities such as
+        # comm_overhead_fraction sum float-valued dicts, and re-summing in a
+        # different key order can shift the last ULP. Insertion order makes
+        # the round trip bit-exact for derived properties too.
+        blob = json.dumps(payload)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(blob)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        if self._memory is not None:
+            self._memory[key] = result
+
+    def clear(self):
+        if self._memory is not None:
+            self._memory.clear()
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    def __contains__(self, key):
+        if self._memory is not None and key in self._memory:
+            return True
+        return self._path(key).is_file()
+
+    def __len__(self):
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+
+_default = None
+
+
+def default_cache():
+    """The process-wide cache used when none is injected.
+
+    A :class:`MemoryCache` normally; a :class:`DiskCache` when
+    ``$REPRO_CACHE_DIR`` is set (so whole benchmark-suite invocations
+    persist their runs without any code change).
+    """
+    global _default
+    if _default is None:
+        if os.environ.get(ENV_CACHE_DIR):
+            _default = DiskCache()
+        else:
+            _default = MemoryCache()
+    return _default
+
+
+def set_default_cache(cache):
+    """Replace the process-wide default cache (None = re-resolve lazily)."""
+    global _default
+    _default = cache

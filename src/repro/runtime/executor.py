@@ -1,0 +1,143 @@
+"""Fan :class:`RunRequest` grids out over worker processes.
+
+The executor separates *what* runs from *how* it runs: cache hits are
+resolved up front, duplicate requests are deduplicated by fingerprint
+key, and only genuine misses are simulated — serially for ``jobs=1`` or
+over a :class:`~concurrent.futures.ProcessPoolExecutor` otherwise.
+Results are merged back **in request order** regardless of completion
+order, so a parallel execution is byte-identical to a serial one; only
+the manifest's timing metadata differs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+from repro.runtime.cache import default_cache
+from repro.runtime.manifest import RunManifest
+from repro.runtime.requests import RunResult
+
+__all__ = ["ExecutionResult", "execute", "run_one"]
+
+
+def _simulate(request):
+    """Worker entry point: one uncached simulation.
+
+    Module-level so it pickles into worker processes.  Returns the raw
+    result plus wall time and the worker's PID (mapped to a stable slot
+    number by the parent).
+    """
+    start = time.perf_counter()
+    result = request.execute()
+    return result, time.perf_counter() - start, os.getpid()
+
+
+@dataclass
+class ExecutionResult:
+    """Ordered results of one grid execution plus its manifest."""
+
+    results: list = field(default_factory=list)  #: RunResult, input order
+    manifest: RunManifest = field(default_factory=RunManifest)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self):
+        return len(self.results)
+
+    def __getitem__(self, index):
+        return self.results[index]
+
+    def by_label(self):
+        """``{(system_name, benchmark): ModelRunResult}`` lookup map."""
+        return {
+            (rr.request.system_name, rr.request.benchmark): rr.result
+            for rr in self.results
+        }
+
+
+def run_one(request, cache=None, use_cache=True):
+    """Execute a single request against the (default) cache."""
+    cache = default_cache() if cache is None else cache
+    key = request.key()
+    if use_cache:
+        cached = cache.get(key)
+        if cached is not None:
+            return RunResult(request=request, result=cached, key=key,
+                             cache_hit=True)
+    result, seconds, _pid = _simulate(request)
+    if use_cache:
+        cache.put(key, result)
+    return RunResult(request=request, result=result, key=key,
+                     cache_hit=False, seconds=seconds)
+
+
+def execute(requests, jobs=1, cache=None, use_cache=True):
+    """Run a request grid; returns an :class:`ExecutionResult`.
+
+    Parameters
+    ----------
+    requests:
+        Iterable of :class:`~repro.runtime.RunRequest`.
+    jobs:
+        Worker processes for cache misses (1 = simulate in-process).
+    cache:
+        A :class:`~repro.runtime.RunCache`; None uses the process
+        default.  Workers never touch the cache — the parent stores
+        their results, so a shared disk cache sees no write races.
+    use_cache:
+        False bypasses lookup *and* storage entirely.
+    """
+    requests = list(requests)
+    cache = default_cache() if cache is None else cache
+    jobs = max(1, int(jobs))
+    start = time.perf_counter()
+
+    results = [None] * len(requests)
+    pending = {}  # key -> [request indices] (deduplicated misses)
+    for i, request in enumerate(requests):
+        key = request.key()
+        cached = cache.get(key) if use_cache else None
+        if cached is not None:
+            results[i] = RunResult(request=request, result=cached, key=key,
+                                   cache_hit=True)
+        elif key in pending:
+            pending[key].append(i)
+        else:
+            pending[key] = [i]
+
+    def _finish(key, result, seconds, worker):
+        if use_cache:
+            cache.put(key, result)
+        for idx in pending[key]:
+            results[idx] = RunResult(
+                request=requests[idx], result=result, key=key,
+                cache_hit=False, seconds=seconds, worker=worker,
+            )
+
+    if pending and jobs == 1:
+        for key, indices in pending.items():
+            result, seconds, _pid = _simulate(requests[indices[0]])
+            _finish(key, result, seconds, None)
+    elif pending:
+        worker_slot = {}  # pid -> stable small slot number
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending))
+        ) as pool:
+            futures = {
+                pool.submit(_simulate, requests[indices[0]]): key
+                for key, indices in pending.items()
+            }
+            for future in as_completed(futures):
+                result, seconds, pid = future.result()
+                slot = worker_slot.setdefault(pid, len(worker_slot))
+                _finish(futures[future], result, seconds, slot)
+
+    manifest = RunManifest(jobs=jobs,
+                           wall_seconds=time.perf_counter() - start)
+    for run_result in results:
+        manifest.record(run_result)
+    return ExecutionResult(results=results, manifest=manifest)

@@ -75,6 +75,43 @@ class ModelRunResult:
             raise ValueError("cannot compute speedup of a zero-time run")
         return other.total_seconds / self.total_seconds
 
+    def to_dict(self):
+        """Full-fidelity JSON form for the persistent runtime cache.
+
+        Python's ``repr``-based float JSON encoding round-trips exactly,
+        so ``from_dict(to_dict(r))`` reproduces every number bit for bit.
+        """
+        return {
+            "model_name": self.model_name,
+            "cluster_name": self.cluster_name,
+            "total_seconds": self.total_seconds,
+            "procedure_span": dict(self.procedure_span),
+            "procedure_compute": dict(self.procedure_compute),
+            "procedure_comm": dict(self.procedure_comm),
+            "bytes_transferred": self.bytes_transferred,
+            "sim": None if self.sim is None else self.sim.to_dict(),
+            "energy": None if self.energy is None else self.energy.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        sim = data.get("sim")
+        energy = data.get("energy")
+        return cls(
+            model_name=data["model_name"],
+            cluster_name=data["cluster_name"],
+            total_seconds=data["total_seconds"],
+            procedure_span=dict(data["procedure_span"]),
+            procedure_compute=dict(data["procedure_compute"]),
+            procedure_comm=dict(data["procedure_comm"]),
+            bytes_transferred=data["bytes_transferred"],
+            sim=None if sim is None else SimResult.from_dict(sim),
+            energy=(
+                None if energy is None
+                else EnergyAccumulator.from_dict(energy)
+            ),
+        )
+
 
 class Planner:
     """Maps and simulates model graphs on one cluster."""

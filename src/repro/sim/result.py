@@ -1,7 +1,14 @@
-"""Simulation results and accounting."""
+"""Simulation results and accounting.
+
+Every result type here serializes to plain JSON structures
+(``to_dict`` / ``from_dict``) with exact float round-trip, so the
+:mod:`repro.runtime` persistent cache can store full-fidelity results
+on disk, and pickles cleanly for process-pool fan-out.
+"""
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 __all__ = ["SimResult", "NodeStats", "TraceEvent"]
@@ -21,6 +28,13 @@ class TraceEvent:
     def duration(self):
         return self.end - self.start
 
+    def to_dict(self):
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
 
 @dataclass
 class NodeStats:
@@ -31,6 +45,13 @@ class NodeStats:
     compute_done_at: float = 0.0
     comm_done_at: float = 0.0
     tasks_executed: int = 0
+
+    def to_dict(self):
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
 
 
 @dataclass
@@ -101,3 +122,37 @@ class SimResult:
                     self.components_total + other.components_total
                 )
         return self
+
+    def to_dict(self):
+        components = self.components_total
+        return {
+            "makespan": self.makespan,
+            "nodes": [n.to_dict() for n in self.nodes],
+            "tag_compute": dict(self.tag_compute),
+            "tag_span": dict(self.tag_span),
+            "bytes_transferred": self.bytes_transferred,
+            "transfers": self.transfers,
+            "components_total": (
+                None if components is None else components.to_dict()
+            ),
+            "trace": [ev.to_dict() for ev in self.trace],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        from repro.cost.model import OpComponents
+
+        components = data.get("components_total")
+        return cls(
+            makespan=data["makespan"],
+            nodes=[NodeStats.from_dict(n) for n in data["nodes"]],
+            tag_compute=dict(data["tag_compute"]),
+            tag_span=dict(data["tag_span"]),
+            bytes_transferred=data["bytes_transferred"],
+            transfers=data["transfers"],
+            components_total=(
+                None if components is None
+                else OpComponents.from_dict(components)
+            ),
+            trace=[TraceEvent.from_dict(ev) for ev in data.get("trace", [])],
+        )

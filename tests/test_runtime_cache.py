@@ -1,0 +1,174 @@
+"""Result caches: stats, disk round-trip fidelity, invalidation, and
+cross-process persistence of the JSON cache."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.hw import hydra_cluster
+from repro.models import resnet18
+from repro.runtime import (
+    DiskCache,
+    MemoryCache,
+    RunRequest,
+    default_cache,
+    default_cache_dir,
+    set_default_cache,
+)
+from repro.sched.planner import Planner
+
+_SRC = str(Path(repro.__file__).resolve().parents[1])
+
+
+def _small_result():
+    return Planner(hydra_cluster(1, 2)).run_model(resnet18())
+
+
+@pytest.fixture(scope="module")
+def result():
+    return _small_result()
+
+
+class TestMemoryCache:
+    def test_miss_then_hit_stats(self, result):
+        cache = MemoryCache()
+        assert cache.get("k") is None
+        cache.put("k", result)
+        assert cache.get("k") is result
+        assert (cache.stats.misses, cache.stats.hits,
+                cache.stats.puts) == (1, 1, 1)
+        assert cache.stats.hit_rate == 0.5
+        assert "k" in cache and len(cache) == 1
+
+    def test_clear(self, result):
+        cache = MemoryCache()
+        cache.put("k", result)
+        cache.clear()
+        assert "k" not in cache and len(cache) == 0
+
+
+class TestDiskCache:
+    def test_roundtrip_is_exact(self, tmp_path, result):
+        cache = DiskCache(tmp_path)
+        cache.put("k", result)
+        # A second instance must re-read from disk, not memory.
+        loaded = DiskCache(tmp_path).get("k")
+        assert loaded is not result
+        assert loaded.total_seconds == result.total_seconds
+        assert json.dumps(loaded.to_dict(), sort_keys=True) == json.dumps(
+            result.to_dict(), sort_keys=True
+        )
+        # Full structure survives: per-node stats, energy, components.
+        assert loaded.sim.num_nodes == result.sim.num_nodes
+        assert loaded.energy.total == result.energy.total
+        assert (loaded.sim.components_total.to_dict()
+                == result.sim.components_total.to_dict())
+
+    def test_memory_layer_serves_same_object(self, tmp_path, result):
+        cache = DiskCache(tmp_path)
+        cache.put("k", result)
+        assert cache.get("k") is cache.get("k")
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, result):
+        cache = DiskCache(tmp_path, memory=False)
+        cache.put("k", result)
+        (tmp_path / "k.json").write_text("{not json", encoding="utf-8")
+        assert cache.get("k") is None
+
+    def test_unknown_format_is_a_miss(self, tmp_path):
+        (tmp_path / "k.json").write_text(
+            json.dumps({"format": 999, "result": {}}), encoding="utf-8"
+        )
+        assert DiskCache(tmp_path, memory=False).get("k") is None
+
+    def test_clear_removes_entries(self, tmp_path, result):
+        cache = DiskCache(tmp_path)
+        cache.put("a", result)
+        cache.put("b", result)
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_env_var_controls_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert default_cache_dir() == tmp_path / "env"
+        assert DiskCache().directory == tmp_path / "env"
+
+    def test_default_cache_honors_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        set_default_cache(None)
+        try:
+            assert isinstance(default_cache(), DiskCache)
+        finally:
+            set_default_cache(None)
+            monkeypatch.delenv("REPRO_CACHE_DIR")
+            assert isinstance(default_cache(), MemoryCache)
+
+
+_SUBPROCESS_SCRIPT = """
+import json
+from repro.runtime import DiskCache, RunRequest, execute
+
+request = RunRequest(benchmark="resnet18", system="Hydra-S",
+                     with_energy=False)
+outcome = execute([request], jobs=1, cache=DiskCache())
+manifest = outcome.manifest
+print(json.dumps({
+    "hits": manifest.hits,
+    "misses": manifest.misses,
+    "total_seconds": outcome[0].result.total_seconds,
+}))
+"""
+
+
+class TestCrossProcessPersistence:
+    def _invoke(self, cache_dir):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_CACHE_DIR"] = str(cache_dir)
+        proc = subprocess.run(
+            [sys.executable, "-c", _SUBPROCESS_SCRIPT],
+            capture_output=True, text=True, env=env, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        return json.loads(proc.stdout.strip().splitlines()[-1])
+
+    def test_second_invocation_is_all_hits(self, tmp_path):
+        first = self._invoke(tmp_path)
+        assert (first["hits"], first["misses"]) == (0, 1)
+        second = self._invoke(tmp_path)
+        assert (second["hits"], second["misses"]) == (1, 0)
+        # Cached numbers are identical, not approximately equal.
+        assert second["total_seconds"] == first["total_seconds"]
+
+
+class TestInvalidationThroughRequests:
+    def test_changed_calibration_misses(self, tmp_path):
+        from dataclasses import replace
+
+        from repro.cost.calibration import DEFAULT_CALIBRATION
+
+        cache = DiskCache(tmp_path)
+        base = RunRequest(benchmark="resnet18", system="Hydra-S",
+                          with_energy=False)
+        scales = dict(DEFAULT_CALIBRATION.work_scale)
+        scales["resnet18"] *= 3.0
+        changed = RunRequest(
+            benchmark="resnet18", system="Hydra-S", with_energy=False,
+            calibration=replace(DEFAULT_CALIBRATION, work_scale=scales),
+        )
+        from repro.runtime import run_one
+
+        r_base = run_one(base, cache=cache)
+        assert not r_base.cache_hit
+        r_changed = run_one(changed, cache=cache)
+        assert not r_changed.cache_hit  # calibration change → miss
+        assert (r_changed.result.total_seconds
+                > r_base.result.total_seconds)
+        assert run_one(base, cache=cache).cache_hit
+        assert run_one(changed, cache=cache).cache_hit

@@ -1,0 +1,233 @@
+"""The parallel executor: determinism, dedup, manifests, and the
+``bench`` / ``sweep --jobs`` CLI paths."""
+
+import json
+
+import pytest
+
+from repro.core.cli import main
+from repro.hw import hydra_cluster
+from repro.runtime import (
+    MemoryCache,
+    RunRequest,
+    execute,
+    paper_grid,
+    run_one,
+)
+
+
+def _small_grid(with_energy=True):
+    """The full grid shape at small scale: 2 systems x 2 benchmarks."""
+    clusters = (hydra_cluster(1, 1), hydra_cluster(1, 2))
+    benchmarks = ("resnet18", "bert_base")
+    return [
+        RunRequest(benchmark=b, cluster=c, with_energy=with_energy)
+        for c in clusters
+        for b in benchmarks
+    ]
+
+
+def _dumps(outcome):
+    return [
+        json.dumps(rr.result.to_dict(), sort_keys=True)
+        for rr in outcome
+    ]
+
+
+class _Capture:
+    def __init__(self):
+        self.lines = []
+
+    def __call__(self, text=""):
+        self.lines.append(str(text))
+
+    @property
+    def text(self):
+        return "\n".join(self.lines)
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_byte_identical(self):
+        requests = _small_grid()
+        serial = execute(requests, jobs=1, cache=MemoryCache())
+        parallel = execute(requests, jobs=4, cache=MemoryCache())
+        assert _dumps(serial) == _dumps(parallel)
+
+    def test_results_in_request_order(self):
+        requests = _small_grid(with_energy=False)
+        outcome = execute(requests, jobs=4, cache=MemoryCache())
+        for request, rr in zip(requests, outcome):
+            assert rr.request is request
+            assert rr.result.model_name == request.benchmark
+            assert rr.result.cluster_name == request.cluster.name
+
+
+class TestCachingAndDedup:
+    def test_second_execute_is_all_hits(self):
+        requests = _small_grid(with_energy=False)
+        cache = MemoryCache()
+        first = execute(requests, jobs=2, cache=cache)
+        assert first.manifest.hits == 0
+        assert first.manifest.misses == len(requests)
+        second = execute(requests, jobs=2, cache=cache)
+        assert second.manifest.hits == len(requests)
+        assert second.manifest.hit_rate == 1.0
+        assert second.manifest.simulated_seconds == 0.0
+        assert _dumps(first) == _dumps(second)
+
+    def test_duplicate_requests_simulated_once(self):
+        request = RunRequest(benchmark="resnet18",
+                             cluster=hydra_cluster(1, 1),
+                             with_energy=False)
+        cache = MemoryCache()
+        outcome = execute([request, request], jobs=1, cache=cache)
+        assert cache.stats.puts == 1
+        assert outcome[0].result is outcome[1].result
+
+    def test_no_cache_bypasses_storage(self):
+        request = RunRequest(benchmark="resnet18",
+                             cluster=hydra_cluster(1, 1),
+                             with_energy=False)
+        cache = MemoryCache()
+        execute([request], jobs=1, cache=cache, use_cache=False)
+        assert len(cache) == 0 and cache.stats.lookups == 0
+
+    def test_run_one_miss_then_hit(self):
+        request = RunRequest(benchmark="resnet18",
+                             cluster=hydra_cluster(1, 1),
+                             with_energy=False)
+        cache = MemoryCache()
+        first = run_one(request, cache=cache)
+        assert not first.cache_hit and first.seconds > 0
+        second = run_one(request, cache=cache)
+        assert second.cache_hit and second.seconds == 0.0
+        assert second.result is first.result
+
+
+class TestManifest:
+    def test_records_cover_every_request(self):
+        requests = _small_grid(with_energy=False)
+        outcome = execute(requests, jobs=2, cache=MemoryCache())
+        manifest = outcome.manifest
+        assert manifest.runs == len(requests)
+        assert manifest.jobs == 2
+        assert manifest.wall_seconds > 0
+        assert 1 <= manifest.workers_used <= 2
+        payload = json.loads(manifest.to_json())
+        assert payload["runs"] == len(requests)
+        assert len(payload["records"]) == len(requests)
+        for record in payload["records"]:
+            assert record["key"] and record["benchmark"]
+
+    def test_manifest_save(self, tmp_path):
+        outcome = execute(
+            [RunRequest(benchmark="resnet18",
+                        cluster=hydra_cluster(1, 1),
+                        with_energy=False)],
+            jobs=1, cache=MemoryCache(),
+        )
+        path = tmp_path / "manifest.json"
+        outcome.manifest.save(path)
+        assert json.loads(path.read_text())["runs"] == 1
+
+    def test_by_label(self):
+        requests = _small_grid(with_energy=False)
+        outcome = execute(requests, jobs=1, cache=MemoryCache())
+        table = outcome.by_label()
+        assert len(table) == len(requests)
+        for request in requests:
+            assert (request.cluster.name, request.benchmark) in table
+
+
+class TestPaperGrid:
+    def test_full_grid_shape(self):
+        requests = paper_grid()
+        assert len(requests) == 28  # 7 systems x 4 benchmarks
+        assert len({r.key() for r in requests}) == 28
+
+    def test_subset_selection(self):
+        requests = paper_grid(systems=["Hydra-S"],
+                              benchmarks=["resnet18", "resnet50"])
+        assert [r.label for r in requests] == [
+            "resnet18 @ Hydra-S", "resnet50 @ Hydra-S",
+        ]
+
+
+class TestCli:
+    def test_bench_json_and_persistent_hits(self, tmp_path):
+        argv = ["bench", "--jobs", "2", "-s", "Hydra-S", "Hydra-M",
+                "-b", "resnet18", "--no-energy", "--json",
+                "--cache-dir", str(tmp_path)]
+        first_out = _Capture()
+        assert main(argv, out=first_out) == 0
+        first = json.loads(first_out.text)
+        assert first["manifest"]["cache_hits"] == 0
+        assert first["manifest"]["cache_misses"] == 2
+
+        second_out = _Capture()
+        assert main(argv, out=second_out) == 0
+        second = json.loads(second_out.text)
+        assert second["manifest"]["cache_hits"] == 2
+        assert second["manifest"]["hit_rate"] == 1.0
+        assert [r["total_seconds"] for r in second["results"]] == [
+            r["total_seconds"] for r in first["results"]
+        ]
+
+    def test_bench_table_output(self, tmp_path):
+        out = _Capture()
+        code = main(["bench", "-s", "Hydra-S", "-b", "resnet18",
+                     "--no-energy", "--cache-dir", str(tmp_path)],
+                    out=out)
+        assert code == 0
+        assert "Hydra-S" in out.text
+        assert "1 runs" in out.text
+        assert str(tmp_path) in out.text
+
+    def test_bench_no_cache(self, tmp_path):
+        out = _Capture()
+        code = main(["bench", "-s", "Hydra-S", "-b", "resnet18",
+                     "--no-energy", "--no-cache", "--json"], out=out)
+        assert code == 0
+        payload = json.loads(out.text)
+        assert payload["manifest"]["cache_hits"] == 0
+
+    def test_sweep_jobs(self):
+        out = _Capture()
+        code = main(["sweep", "-b", "resnet18", "--cards", "1", "2",
+                     "--jobs", "2"], out=out)
+        assert code == 0
+        assert "scaling" in out.text
+
+    def test_sweep_jobs_matches_serial(self):
+        serial, parallel = _Capture(), _Capture()
+        base = ["sweep", "-b", "resnet18", "--cards", "1", "2", "4"]
+        assert main(base + ["--jobs", "1"], out=serial) == 0
+        assert main(base + ["--jobs", "3"], out=parallel) == 0
+        assert serial.text == parallel.text
+
+
+class TestDeprecatedShims:
+    def test_run_benchmark_warns_but_works(self):
+        from repro.core import run_benchmark
+
+        with pytest.warns(DeprecationWarning):
+            result = run_benchmark("resnet18", "Hydra-S",
+                                   with_energy=False)
+        assert result.model_name == "resnet18"
+
+    def test_clear_run_cache_warns_and_clears_default(self):
+        from repro.core import HydraSystem, clear_run_cache
+
+        system = HydraSystem.hydra_s()
+        first = system.run("resnet18", with_energy=False)
+        with pytest.warns(DeprecationWarning):
+            clear_run_cache()
+        second = system.run("resnet18", with_energy=False)
+        assert second is not first
+        assert second.total_seconds == first.total_seconds
+
+    def test_run_is_keyword_only_after_benchmark(self):
+        from repro.core import HydraSystem
+
+        with pytest.raises(TypeError):
+            HydraSystem.hydra_s().run("resnet18", False)
