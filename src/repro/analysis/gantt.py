@@ -36,9 +36,12 @@ def render_gantt(trace, makespan=None, width=72, max_nodes=16):
         for ev in trace:
             if ev.node != node:
                 continue
-            lo = int(ev.start / makespan * width)
-            hi = max(lo + 1, int(ev.end / makespan * width))
-            for col in range(lo, min(hi, width)):
+            # Clamp into [0, width) so zero-duration and sub-pixel events
+            # at the makespan boundary still paint exactly one glyph
+            # (plain min(hi, width) drops events in the final column).
+            lo = min(int(ev.start / makespan * width), width - 1)
+            hi = min(max(int(ev.end / makespan * width), lo + 1), width)
+            for col in range(lo, hi):
                 if priority[ev.kind] > row_priority[col]:
                     row[col] = _GLYPHS[ev.kind]
                     row_priority[col] = priority[ev.kind]
@@ -51,9 +54,18 @@ def render_gantt(trace, makespan=None, width=72, max_nodes=16):
 
 
 def trace_summary(trace):
-    """Aggregate busy seconds per (kind, tag)."""
+    """Aggregate busy seconds per (kind, tag).
+
+    Returns a deterministic, JSON-serializable list of rows
+    ``{"kind": ..., "tag": ..., "busy_seconds": ...}`` sorted by
+    ``(kind, tag)``.  (Earlier versions returned a tuple-keyed dict,
+    which ``json.dumps`` rejects.)
+    """
     totals = {}
     for ev in trace:
         key = (ev.kind, ev.tag)
         totals[key] = totals.get(key, 0.0) + ev.duration
-    return totals
+    return [
+        {"kind": kind, "tag": tag, "busy_seconds": seconds}
+        for (kind, tag), seconds in sorted(totals.items())
+    ]

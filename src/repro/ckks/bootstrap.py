@@ -31,6 +31,8 @@ import numpy as np
 from repro.ckks.ciphertext import Ciphertext
 from repro.ckks.linear import LinearTransform
 from repro.ckks.polyeval import evaluate_polynomial
+from repro.obs.metrics import inc as _metric_inc
+from repro.obs.spans import span as _span
 from repro.poly import RnsPoly
 
 __all__ = ["Bootstrapper", "BootstrapKeys"]
@@ -241,15 +243,23 @@ class Bootstrapper:
     def bootstrap(self, ct: Ciphertext, keys: BootstrapKeys) -> Ciphertext:
         """Refresh ``ct`` to a higher level, approximately preserving slots."""
         ev = self.evaluator
-        raised = self.mod_raise(ct)
-        packed = self.coeff_to_slot(raised, keys)
-        re, im = self.split_real_imag(packed, keys)
-        sin_re = self.eval_exp_sin(re, keys)
-        sin_im = self.eval_exp_sin(im, keys)
-        im_scaled = ev.multiply_const(sin_im, 1j, scale=ev.context.params.scale)
-        re_scaled = ev.multiply_const(sin_re, 1.0, scale=ev.context.params.scale)
-        recombined = ev.rescale(ev.add(re_scaled, im_scaled))
-        refreshed = self.slot_to_coeff(recombined, keys)
+        _metric_inc("ckks.bootstrap.invocations")
+        with _span("bootstrap", category="ckks"):
+            with _span("bootstrap.mod_raise", category="ckks"):
+                raised = self.mod_raise(ct)
+            with _span("bootstrap.coeff_to_slot", category="ckks"):
+                packed = self.coeff_to_slot(raised, keys)
+            with _span("bootstrap.eval_exp", category="ckks"):
+                re, im = self.split_real_imag(packed, keys)
+                sin_re = self.eval_exp_sin(re, keys)
+                sin_im = self.eval_exp_sin(im, keys)
+                im_scaled = ev.multiply_const(
+                    sin_im, 1j, scale=ev.context.params.scale)
+                re_scaled = ev.multiply_const(
+                    sin_re, 1.0, scale=ev.context.params.scale)
+                recombined = ev.rescale(ev.add(re_scaled, im_scaled))
+            with _span("bootstrap.slot_to_coeff", category="ckks"):
+                refreshed = self.slot_to_coeff(recombined, keys)
         if refreshed.level <= ct.level:
             raise RuntimeError(
                 f"bootstrap did not gain levels: {ct.level} -> "

@@ -19,8 +19,15 @@ Commands
     Single-card FPGA utilization (paper Table IV).
 ``dft --slots N --cards C``
     Optimal bootstrapping DFT parameters (paper Table V / Eq. 1).
-``trace -s SYSTEM -b BENCHMARK --step NAME``
-    Text Gantt chart of one scheduled step.
+``trace -s SYSTEM -b BENCHMARK --step NAME --format {gantt,chrome,summary}``
+    One scheduled step, traced: text Gantt chart, Chrome/Perfetto
+    trace-event JSON, or a JSON busy-time summary with the overlap
+    report.  ``--out FILE`` writes to a file instead of stdout.
+``profile SYSTEM BENCHMARK``
+    Full traced inference: per-card compute/communication overlap
+    report, per-(kind, tag) busy seconds, and the run's metric
+    counters; ``--out FILE`` additionally writes a ``trace.json``
+    loadable in ``chrome://tracing`` / https://ui.perfetto.dev.
 ``report -b BENCHMARK``
     Compact full-system comparison (Table II style).
 """
@@ -29,7 +36,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.analysis import format_table, render_gantt
+from repro.analysis import format_table, render_gantt, trace_summary
 from repro.core.system import (
     HydraSystem,
     available_benchmarks,
@@ -85,11 +92,26 @@ def build_parser():
                        help="log2 of the slot count")
     dft_p.add_argument("--cards", type=int, default=8)
 
-    trace_p = sub.add_parser("trace", help="Gantt chart of one step")
+    trace_p = sub.add_parser("trace", help="trace one scheduled step")
     trace_p.add_argument("-s", "--system", default="Hydra-M")
     trace_p.add_argument("-b", "--benchmark", default="resnet18")
     trace_p.add_argument("--step", default=None,
                          help="step name (default: first ConvBN)")
+    trace_p.add_argument("--format", dest="format",
+                         choices=["gantt", "chrome", "summary"],
+                         default="gantt",
+                         help="gantt = text chart, chrome = Perfetto/"
+                              "chrome://tracing JSON, summary = JSON "
+                              "busy-time rows + overlap report")
+    trace_p.add_argument("--out", default=None,
+                         help="write output to FILE instead of stdout")
+
+    profile_p = sub.add_parser(
+        "profile", help="traced full run + overlap/utilization report")
+    profile_p.add_argument("system", help="deployment name (see `list`)")
+    profile_p.add_argument("benchmark", help="benchmark name")
+    profile_p.add_argument("--out", default=None,
+                           help="also write a Chrome/Perfetto trace.json")
 
     report_p = sub.add_parser(
         "report", help="compact full-system report (Table II style)")
@@ -226,7 +248,26 @@ def _cmd_dft(args, out):
     return 0
 
 
+def _write_or_print(text, path, out):
+    if path is None:
+        out(text)
+        return
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        if not text.endswith("\n"):
+            fh.write("\n")
+    out(f"wrote {path}")
+
+
 def _cmd_trace(args, out):
+    import json as _json
+
+    from repro.obs import (
+        Recorder,
+        chrome_trace,
+        overlap_report,
+        validate_chrome_trace,
+    )
     from repro.sim import ProgramBuilder, Simulator
 
     system = HydraSystem.named(args.system)
@@ -246,12 +287,80 @@ def _cmd_trace(args, out):
     builder = ProgramBuilder(system.total_cards)
     scale = (model.work_scale
              * planner.calibration.work_scale.get(model.name, 1.0))
-    planner._map_step(step, builder, scale)
-    sim = Simulator(system.cluster, trace=True)
-    result = sim.run(builder.build())
-    out(f"step {step.name!r} ({step.procedure}) on {args.system}: "
-        f"{result.makespan * 1e3:.2f} ms")
-    out(render_gantt(result.trace, makespan=result.makespan))
+    recorder = Recorder()
+    with recorder:
+        planner.map_step(step, builder, scale)
+        sim = Simulator(system.cluster, trace=True)
+        result = sim.run(builder.build(), step=step.name)
+
+    if args.format == "chrome":
+        doc = chrome_trace(sim_trace=result.trace, spans=recorder.spans)
+        validate_chrome_trace(doc)
+        _write_or_print(_json.dumps(doc, sort_keys=True), args.out, out)
+        return 0
+    if args.format == "summary":
+        payload = {
+            "system": args.system,
+            "benchmark": args.benchmark,
+            "step": step.name,
+            "makespan_seconds": result.makespan,
+            "busy": trace_summary(result.trace),
+            "overlap": overlap_report(
+                result.trace, makespan=result.makespan).to_dict(),
+        }
+        _write_or_print(_json.dumps(payload, indent=2, sort_keys=True),
+                        args.out, out)
+        return 0
+    text = "\n".join([
+        f"step {step.name!r} ({step.procedure}) on {args.system}: "
+        f"{result.makespan * 1e3:.2f} ms",
+        render_gantt(result.trace, makespan=result.makespan),
+    ])
+    _write_or_print(text, args.out, out)
+    return 0
+
+
+def _cmd_profile(args, out):
+    from repro.obs import (
+        MetricsRegistry,
+        Recorder,
+        overlap_report,
+        use_registry,
+        write_chrome_trace,
+    )
+
+    registry = MetricsRegistry()
+    recorder = Recorder()
+    with use_registry(registry), recorder:
+        system = HydraSystem.named(args.system)
+        model = system.build_model(args.benchmark)
+        result = system.planner.run_model(model, with_energy=False,
+                                          trace=True)
+    trace = result.sim.trace
+    out(f"{args.benchmark} on {args.system} ({system.total_cards} cards): "
+        f"{result.total_seconds:.2f} s simulated, "
+        f"{len(trace)} trace events")
+    out("")
+    report = overlap_report(trace, makespan=result.sim.makespan)
+    out(report.render())
+    out("")
+    busy = trace_summary(trace)
+    busy.sort(key=lambda row: -row["busy_seconds"])
+    rows = [[r["kind"], r["tag"], r["busy_seconds"]] for r in busy[:12]]
+    out(format_table(["Kind", "Tag", "Busy (s)"], rows,
+                     title="Busy seconds by (kind, tag)",
+                     float_fmt="{:.4f}"))
+    counters = registry.snapshot()["counters"]
+    if counters:
+        out("")
+        out("metric counters:")
+        for name, series in counters.items():
+            for labels, value in series.items():
+                label = f"{{{labels}}}" if labels else ""
+                out(f"  {name}{label} = {value:g}")
+    if args.out:
+        write_chrome_trace(args.out, sim_trace=trace, spans=recorder.spans)
+        out(f"wrote {args.out}")
     return 0
 
 
@@ -290,6 +399,7 @@ _COMMANDS = {
     "resources": _cmd_resources,
     "dft": _cmd_dft,
     "trace": _cmd_trace,
+    "profile": _cmd_profile,
     "report": _cmd_report,
 }
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.math.modular import mod_inverse, nth_root_of_unity
+from repro.obs.metrics import inc as _metric_inc
 
 __all__ = ["NttContext", "bit_reverse_permutation"]
 
@@ -85,6 +86,7 @@ class NttContext:
         powers folded into the twiddles, so no separate pre-multiplication
         by ``psi^i`` is needed.
         """
+        _metric_inc("math.ntt.calls", direction="forward")
         a = self._checked_copy(coeffs)
         n = self.poly_degree
         q = self._q
@@ -103,6 +105,7 @@ class NttContext:
 
     def inverse(self, values: np.ndarray) -> np.ndarray:
         """Transform evaluation representation back to coefficients."""
+        _metric_inc("math.ntt.calls", direction="inverse")
         a = self._checked_copy(values)
         n = self.poly_degree
         q = self._q

@@ -1,0 +1,71 @@
+"""Unified observability: metrics, span tracing, trace export, reports.
+
+Four pieces, designed to compose:
+
+* :mod:`repro.obs.metrics` — labeled counters / gauges / histograms on a
+  swappable registry, with deterministic, mergeable snapshots that
+  survive the :mod:`repro.runtime` process-pool boundary;
+* :mod:`repro.obs.spans` — ``span("...")`` host-side tracing into a
+  per-run :class:`Recorder` (no-op when no recorder is active);
+* :mod:`repro.obs.chrome` — Chrome trace-event / Perfetto JSON export of
+  simulation ``TraceEvent`` streams (cards as tracks) and host spans;
+* :mod:`repro.obs.report` — per-card compute/comm overlap and
+  utilization reports, quantifying the paper's Procedure 1/2 claim.
+
+Typical use::
+
+    from repro.obs import Recorder, overlap_report, write_chrome_trace
+
+    with Recorder() as rec:
+        result = planner.run_model(model, trace=True)
+    print(overlap_report(result.sim.trace,
+                         makespan=result.sim.makespan).render())
+    write_chrome_trace("trace.json", sim_trace=result.sim.trace,
+                       spans=rec.spans)
+
+or from the command line: ``repro profile Hydra-M resnet18`` and
+``repro trace --format chrome --out trace.json``.
+"""
+
+from repro.obs.chrome import (
+    chrome_trace,
+    chrome_trace_json,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+    inc,
+    merge_snapshots,
+    observe,
+    set_gauge,
+    set_registry,
+    use_registry,
+)
+from repro.obs.report import CardUtilization, OverlapReport, overlap_report
+from repro.obs.spans import Recorder, Span, current_recorder, span
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "CardUtilization",
+    "MetricsRegistry",
+    "OverlapReport",
+    "Recorder",
+    "Span",
+    "chrome_trace",
+    "chrome_trace_json",
+    "current_recorder",
+    "get_registry",
+    "inc",
+    "merge_snapshots",
+    "observe",
+    "overlap_report",
+    "set_gauge",
+    "set_registry",
+    "span",
+    "use_registry",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,157 @@
+"""Chrome trace-event / Perfetto JSON export.
+
+Renders simulation :class:`~repro.sim.result.TraceEvent` streams and
+host-side :class:`~repro.obs.spans.Span` lists into one trace-event JSON
+document loadable in ``chrome://tracing`` or https://ui.perfetto.dev:
+
+* process 0 (``sim``) holds one thread ("track") per accelerator card,
+  with compute / send / recv slices in simulated time;
+* process 1 (``host``) holds the host-side spans (planner, CKKS,
+  runtime) in wall time, re-based so the first span starts at 0.
+
+All events are "complete" events (``ph: "X"``) with microsecond
+``ts``/``dur``, plus ``M`` metadata records naming processes and
+threads.  Output ordering is fully deterministic (sorted by process,
+track, timestamp, name), so exports golden-file cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "chrome_trace",
+    "chrome_trace_json",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+_SIM_PID = 0
+_HOST_PID = 1
+_US = 1e6  # trace-event timestamps are microseconds
+
+#: Allowed phase values for the events this exporter emits.
+_PHASES = {"X", "M"}
+
+
+def _metadata(pid, tid, name, value, sort_index=None):
+    events = [{
+        "ph": "M", "pid": pid, "tid": tid, "name": name,
+        "args": {"name": value},
+    }]
+    if sort_index is not None:
+        events.append({
+            "ph": "M", "pid": pid, "tid": tid, "name": "thread_sort_index",
+            "args": {"sort_index": sort_index},
+        })
+    return events
+
+
+def chrome_trace(sim_trace=(), spans=(), time_origin=None):
+    """Build a trace-event document (a plain dict, ready for ``json``).
+
+    Parameters
+    ----------
+    sim_trace:
+        Iterable of :class:`~repro.sim.result.TraceEvent` (simulated
+        time, seconds).
+    spans:
+        Iterable of :class:`~repro.obs.spans.Span` (host clock,
+        seconds).  Rebased so the earliest span starts at ``ts=0``
+        unless ``time_origin`` pins the zero point explicitly.
+    """
+    sim_trace = list(sim_trace)
+    spans = list(spans)
+    events = []
+
+    if sim_trace:
+        events += _metadata(_SIM_PID, 0, "process_name", "sim")
+        for node in sorted({ev.node for ev in sim_trace}):
+            events += _metadata(_SIM_PID, node, "thread_name",
+                                f"card {node}", sort_index=node)
+        for ev in sim_trace:
+            args = {"kind": ev.kind, "tag": ev.tag}
+            step = getattr(ev, "step", None)
+            if step is not None:
+                args["step"] = step
+            channel = getattr(ev, "channel", None)
+            if channel is not None:
+                args["channel"] = channel
+            events.append({
+                "ph": "X", "pid": _SIM_PID, "tid": ev.node,
+                "name": ev.tag, "cat": ev.kind,
+                "ts": ev.start * _US, "dur": (ev.end - ev.start) * _US,
+                "args": args,
+            })
+
+    if spans:
+        if time_origin is None:
+            time_origin = min(s.start for s in spans)
+        events += _metadata(_HOST_PID, 0, "process_name", "host")
+        events += _metadata(_HOST_PID, 0, "thread_name", "host",
+                            sort_index=0)
+        for s in spans:
+            events.append({
+                "ph": "X", "pid": _HOST_PID, "tid": 0,
+                "name": s.name, "cat": s.category,
+                "ts": (s.start - time_origin) * _US,
+                "dur": (s.end - s.start) * _US,
+                "args": dict(s.args),
+            })
+
+    events.sort(key=lambda e: (e["pid"], e["tid"], e["ph"] != "M",
+                               e.get("ts", 0.0), e["name"]))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(sim_trace=(), spans=(), indent=None):
+    """The trace document serialized to a JSON string."""
+    return json.dumps(chrome_trace(sim_trace=sim_trace, spans=spans),
+                      indent=indent, sort_keys=True)
+
+
+def write_chrome_trace(path, sim_trace=(), spans=(), indent=None):
+    """Write a ``trace.json`` for ``chrome://tracing`` / Perfetto."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(chrome_trace_json(sim_trace=sim_trace, spans=spans,
+                                   indent=indent))
+    return path
+
+
+def validate_chrome_trace(doc):
+    """Check ``doc`` against the Chrome trace-event schema subset we emit.
+
+    Raises ``ValueError`` on the first violation; returns the event
+    count when valid.  Used by tests and by ``repro trace --format
+    chrome`` as a post-write self-check.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            raise ValueError(f"{where}: event must be an object")
+        ph = ev.get("ph")
+        if ph not in _PHASES:
+            raise ValueError(f"{where}: bad phase {ph!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                raise ValueError(f"{where}: {key} must be an integer")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            raise ValueError(f"{where}: name must be a non-empty string")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                value = ev.get(key)
+                if not isinstance(value, (int, float)):
+                    raise ValueError(f"{where}: {key} must be a number")
+            if ev["dur"] < 0:
+                raise ValueError(f"{where}: negative duration")
+            if "args" in ev and not isinstance(ev["args"], dict):
+                raise ValueError(f"{where}: args must be an object")
+        elif ph == "M":
+            if not isinstance(ev.get("args"), dict):
+                raise ValueError(f"{where}: metadata needs args")
+    return len(events)

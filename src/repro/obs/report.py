@@ -1,0 +1,194 @@
+"""Overlap / utilization reports from simulation traces.
+
+Puts a number on the paper's Procedure 1/2 claim — that the handshake
+synchronization hides communication under computation — by computing,
+per card, from a traced simulation:
+
+* **compute busy**: union length of compute intervals;
+* **comm busy**: union length of send/recv intervals (fabric activity
+  touching the card);
+* **overlap**: length of the intersection of the two unions — the
+  communication time actually hidden under computation;
+* **idle**: makespan not covered by either.
+
+The headline *overlap fraction* is ``overlap / comm busy``: 1.0 means
+every communicated second was hidden, 0.0 means fully exposed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import format_table
+
+__all__ = ["CardUtilization", "OverlapReport", "overlap_report"]
+
+
+def _union(intervals):
+    """Merge ``(start, end)`` intervals; returns the merged, sorted list."""
+    merged = []
+    for start, end in sorted(intervals):
+        if end <= start:
+            continue
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _length(intervals):
+    return sum(end - start for start, end in intervals)
+
+
+def _intersection_length(a, b):
+    """Total overlap between two merged interval lists (two pointers)."""
+    total = 0.0
+    i = j = 0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if hi > lo:
+            total += hi - lo
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total
+
+
+@dataclass(frozen=True)
+class CardUtilization:
+    """Busy/overlap/idle accounting for one card over one trace."""
+
+    node: int
+    compute_busy: float
+    comm_busy: float
+    overlap_seconds: float
+    idle_seconds: float
+    makespan: float
+
+    @property
+    def overlap_fraction(self):
+        """Share of communication time hidden under computation."""
+        if self.comm_busy <= 0:
+            return 0.0
+        return self.overlap_seconds / self.comm_busy
+
+    @property
+    def compute_utilization(self):
+        if self.makespan <= 0:
+            return 0.0
+        return self.compute_busy / self.makespan
+
+    def to_dict(self):
+        return {
+            "node": self.node,
+            "compute_busy": self.compute_busy,
+            "comm_busy": self.comm_busy,
+            "overlap_seconds": self.overlap_seconds,
+            "overlap_fraction": self.overlap_fraction,
+            "idle_seconds": self.idle_seconds,
+            "compute_utilization": self.compute_utilization,
+        }
+
+
+@dataclass
+class OverlapReport:
+    """Per-card utilization rows plus cluster-level aggregates."""
+
+    makespan: float = 0.0
+    cards: list = field(default_factory=list)
+
+    @property
+    def num_cards(self):
+        return len(self.cards)
+
+    @property
+    def total_comm_busy(self):
+        return sum(c.comm_busy for c in self.cards)
+
+    @property
+    def total_overlap_seconds(self):
+        return sum(c.overlap_seconds for c in self.cards)
+
+    @property
+    def overlap_fraction(self):
+        """Cluster-level hidden-communication share (comm-weighted)."""
+        comm = self.total_comm_busy
+        if comm <= 0:
+            return 0.0
+        return self.total_overlap_seconds / comm
+
+    @property
+    def mean_compute_utilization(self):
+        if not self.cards:
+            return 0.0
+        return (sum(c.compute_utilization for c in self.cards)
+                / len(self.cards))
+
+    def to_dict(self):
+        return {
+            "makespan": self.makespan,
+            "overlap_fraction": self.overlap_fraction,
+            "mean_compute_utilization": self.mean_compute_utilization,
+            "cards": [c.to_dict() for c in self.cards],
+        }
+
+    def render(self, max_rows=32):
+        """Plain-text table of the per-card rows plus a summary line."""
+        if not self.cards:
+            return "(no trace events: nothing to report)"
+        rows = [
+            [c.node, c.compute_busy, c.comm_busy, c.overlap_seconds,
+             f"{100.0 * c.overlap_fraction:.1f}%",
+             c.idle_seconds,
+             f"{100.0 * c.compute_utilization:.1f}%"]
+            for c in self.cards[:max_rows]
+        ]
+        table = format_table(
+            ["Card", "Compute (s)", "Comm (s)", "Overlap (s)",
+             "Overlap", "Idle (s)", "Util"],
+            rows,
+            title="Per-card compute/communication overlap",
+            float_fmt="{:.4f}",
+        )
+        lines = [table]
+        if len(self.cards) > max_rows:
+            lines.append(f"... ({len(self.cards) - max_rows} more cards)")
+        lines.append(
+            f"makespan {self.makespan:.4f} s | "
+            f"overlap {100.0 * self.overlap_fraction:.1f}% of "
+            f"{self.total_comm_busy:.4f} s communication hidden | "
+            f"mean compute utilization "
+            f"{100.0 * self.mean_compute_utilization:.1f}%"
+        )
+        return "\n".join(lines)
+
+
+def overlap_report(trace, makespan=None):
+    """Compute an :class:`OverlapReport` from a ``TraceEvent`` stream."""
+    trace = list(trace)
+    if not trace:
+        return OverlapReport(makespan=makespan or 0.0)
+    if makespan is None:
+        makespan = max(ev.end for ev in trace)
+    by_node = {}
+    for ev in trace:
+        by_node.setdefault(ev.node, {"compute": [], "comm": []})
+        bucket = "compute" if ev.kind == "compute" else "comm"
+        by_node[ev.node][bucket].append((ev.start, ev.end))
+    cards = []
+    for node in sorted(by_node):
+        compute = _union(by_node[node]["compute"])
+        comm = _union(by_node[node]["comm"])
+        busy = _union(compute + comm)
+        cards.append(CardUtilization(
+            node=node,
+            compute_busy=_length(compute),
+            comm_busy=_length(comm),
+            overlap_seconds=_intersection_length(compute, comm),
+            idle_seconds=max(0.0, makespan - _length(busy)),
+            makespan=makespan,
+        ))
+    return OverlapReport(makespan=makespan, cards=cards)

@@ -1,0 +1,128 @@
+"""Span-based tracing of host-side work.
+
+A :class:`Recorder` collects :class:`Span` intervals for one run;
+instrumented code marks regions with the :func:`span` context manager::
+
+    from repro.obs import Recorder, span
+
+    with Recorder() as rec:
+        with span("plan.step", category="planner", step="conv1"):
+            ...
+    print(rec.spans)
+
+When no recorder is active, :func:`span` is a near-zero-cost no-op, so
+the instrumentation can stay on permanently in hot layers (the CKKS
+evaluator, the planner, the bootstrap pipeline).  Spans nest naturally —
+the ``depth`` field records the nesting level at entry — and render as
+stacked slices on the host track of a Chrome/Perfetto trace export
+(:mod:`repro.obs.chrome`).
+
+Timestamps come from the recorder's ``clock`` (default
+``time.perf_counter``); tests inject a fake clock for deterministic
+golden files.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Recorder", "Span", "current_recorder", "span"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed host-side interval."""
+
+    name: str
+    category: str
+    start: float
+    end: float
+    depth: int = 0
+    args: tuple = ()  #: sorted ``(key, value)`` pairs
+
+    @property
+    def duration(self):
+        return self.end - self.start
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "category": self.category,
+            "start": self.start,
+            "end": self.end,
+            "depth": self.depth,
+            "args": dict(self.args),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            name=data["name"],
+            category=data["category"],
+            start=data["start"],
+            end=data["end"],
+            depth=data.get("depth", 0),
+            args=tuple(sorted(data.get("args", {}).items())),
+        )
+
+
+@dataclass
+class Recorder:
+    """Collects spans for one run; install with ``with Recorder() as r:``."""
+
+    clock: object = time.perf_counter
+    spans: list = field(default_factory=list)
+    _depth: int = 0
+
+    def __enter__(self):
+        _stack.append(self)
+        return self
+
+    def __exit__(self, *exc):
+        _stack.remove(self)
+        return False
+
+    def record(self, name, category, start, end, depth=0, **args):
+        """Append a completed span (mostly used via :func:`span`)."""
+        self.spans.append(Span(
+            name=name, category=category, start=start, end=end,
+            depth=depth, args=tuple(sorted(args.items())),
+        ))
+        return self.spans[-1]
+
+    def total_seconds(self, name=None):
+        """Summed duration of all spans (optionally filtered by name)."""
+        return sum(s.duration for s in self.spans
+                   if name is None or s.name == name)
+
+
+_stack = []
+
+
+def current_recorder():
+    """The innermost active :class:`Recorder`, or None."""
+    return _stack[-1] if _stack else None
+
+
+@contextmanager
+def span(name, category="host", **args):
+    """Record the enclosed block as a span on the active recorder.
+
+    No-op when no recorder is installed.  Extra keyword arguments are
+    attached to the span (and surface in the Chrome trace ``args``).
+    """
+    rec = current_recorder()
+    if rec is None:
+        yield None
+        return
+    depth = rec._depth
+    rec._depth = depth + 1
+    start = rec.clock()
+    try:
+        yield rec
+    finally:
+        end = rec.clock()
+        rec._depth = depth
+        rec.record(name, category, start, end, depth=depth, **args)

@@ -51,11 +51,17 @@ def default_cache_dir():
 
 @dataclass
 class CacheStats:
-    """Lookup accounting for one cache instance."""
+    """Lookup accounting for one cache instance.
+
+    ``stale`` counts misses caused by an entry that *exists* but could
+    not be used (corrupt JSON or an incompatible on-disk format) — a
+    subset of ``misses``.
+    """
 
     hits: int = 0
     misses: int = 0
     puts: int = 0
+    stale: int = 0
 
     @property
     def lookups(self):
@@ -156,13 +162,19 @@ class DiskCache(RunCache):
             return self._memory[key]
         path = self._path(key)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            payload = json.loads(text)
             if payload.get("format") != _FORMAT:
+                self.stats.stale += 1
                 return None
             result = ModelRunResult.from_dict(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
-            # Missing, corrupt, or incompatible entry — treat as a miss;
-            # a fresh run will overwrite it.
+        except (ValueError, KeyError, TypeError):
+            # Corrupt or incompatible entry — count it stale and treat
+            # as a miss; a fresh run will overwrite it.
+            self.stats.stale += 1
             return None
         if self._memory is not None:
             self._memory[key] = result

@@ -16,6 +16,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import MetricsRegistry, merge_snapshots, use_registry
 from repro.runtime.cache import default_cache
 from repro.runtime.manifest import RunManifest
 from repro.runtime.requests import RunResult
@@ -26,13 +27,19 @@ __all__ = ["ExecutionResult", "execute", "run_one"]
 def _simulate(request):
     """Worker entry point: one uncached simulation.
 
-    Module-level so it pickles into worker processes.  Returns the raw
-    result plus wall time and the worker's PID (mapped to a stable slot
-    number by the parent).
+    Module-level so it pickles into worker processes.  Runs under a
+    fresh :class:`~repro.obs.MetricsRegistry`, so the returned snapshot
+    holds exactly this request's counters — the parent merges snapshots
+    in request order, making ``jobs=N`` metric output bit-identical to a
+    serial run.  Also returns wall time and the worker's PID (mapped to
+    a stable slot number by the parent).
     """
+    registry = MetricsRegistry()
     start = time.perf_counter()
-    result = request.execute()
-    return result, time.perf_counter() - start, os.getpid()
+    with use_registry(registry):
+        result = request.execute()
+    return (result, time.perf_counter() - start, os.getpid(),
+            registry.snapshot())
 
 
 @dataclass
@@ -68,11 +75,11 @@ def run_one(request, cache=None, use_cache=True):
         if cached is not None:
             return RunResult(request=request, result=cached, key=key,
                              cache_hit=True)
-    result, seconds, _pid = _simulate(request)
+    result, seconds, _pid, metrics = _simulate(request)
     if use_cache:
         cache.put(key, result)
     return RunResult(request=request, result=result, key=key,
-                     cache_hit=False, seconds=seconds)
+                     cache_hit=False, seconds=seconds, metrics=metrics)
 
 
 def execute(requests, jobs=1, cache=None, use_cache=True):
@@ -94,6 +101,7 @@ def execute(requests, jobs=1, cache=None, use_cache=True):
     requests = list(requests)
     cache = default_cache() if cache is None else cache
     jobs = max(1, int(jobs))
+    stale_before = cache.stats.stale
     start = time.perf_counter()
 
     results = [None] * len(requests)
@@ -109,19 +117,20 @@ def execute(requests, jobs=1, cache=None, use_cache=True):
         else:
             pending[key] = [i]
 
-    def _finish(key, result, seconds, worker):
+    def _finish(key, result, seconds, worker, metrics):
         if use_cache:
             cache.put(key, result)
         for idx in pending[key]:
             results[idx] = RunResult(
                 request=requests[idx], result=result, key=key,
                 cache_hit=False, seconds=seconds, worker=worker,
+                metrics=metrics,
             )
 
     if pending and jobs == 1:
         for key, indices in pending.items():
-            result, seconds, _pid = _simulate(requests[indices[0]])
-            _finish(key, result, seconds, None)
+            result, seconds, _pid, metrics = _simulate(requests[indices[0]])
+            _finish(key, result, seconds, None, metrics)
     elif pending:
         worker_slot = {}  # pid -> stable small slot number
         with ProcessPoolExecutor(
@@ -132,12 +141,25 @@ def execute(requests, jobs=1, cache=None, use_cache=True):
                 for key, indices in pending.items()
             }
             for future in as_completed(futures):
-                result, seconds, pid = future.result()
+                result, seconds, pid, metrics = future.result()
                 slot = worker_slot.setdefault(pid, len(worker_slot))
-                _finish(futures[future], result, seconds, slot)
+                _finish(futures[future], result, seconds, slot, metrics)
 
     manifest = RunManifest(jobs=jobs,
                            wall_seconds=time.perf_counter() - start)
     for run_result in results:
         manifest.record(run_result)
+    # Merge per-simulation metric snapshots in request order (one per
+    # deduplicated key, first occurrence) — deterministic regardless of
+    # worker completion order — then fold in parent-side cache counters.
+    parent = MetricsRegistry()
+    parent.inc("runtime.cache.hits",
+               sum(1 for rr in results if rr.cache_hit))
+    parent.inc("runtime.cache.misses", len(pending))
+    parent.inc("runtime.cache.stale", cache.stats.stale - stale_before)
+    parent.inc("runtime.requests", len(requests))
+    manifest.metrics = merge_snapshots(
+        [results[indices[0]].metrics for indices in pending.values()]
+        + [parent.snapshot()]
+    )
     return ExecutionResult(results=results, manifest=manifest)

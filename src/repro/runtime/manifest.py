@@ -18,7 +18,12 @@ __all__ = ["RunRecord", "RunManifest"]
 
 @dataclass
 class RunRecord:
-    """Provenance of one request within a grid execution."""
+    """Provenance of one request within a grid execution.
+
+    ``metrics`` is the :mod:`repro.obs` snapshot recorded while the
+    request simulated (None for cache hits — their counters were paid
+    when the entry was first produced).
+    """
 
     key: str
     benchmark: str
@@ -26,6 +31,7 @@ class RunRecord:
     cache_hit: bool
     seconds: float = 0.0
     worker: int = None
+    metrics: dict = None
 
     def to_dict(self):
         return {
@@ -35,6 +41,7 @@ class RunRecord:
             "cache_hit": self.cache_hit,
             "seconds": self.seconds,
             "worker": self.worker,
+            "metrics": self.metrics,
         }
 
 
@@ -45,6 +52,9 @@ class RunManifest:
     jobs: int = 1
     wall_seconds: float = 0.0
     records: list = field(default_factory=list)
+    #: merged metrics snapshot of every simulation in this execution
+    #: plus the parent's cache counters (see repro.obs.metrics)
+    metrics: dict = None
 
     def record(self, run_result):
         """Append one completed :class:`~repro.runtime.RunResult`."""
@@ -55,6 +65,7 @@ class RunManifest:
             cache_hit=run_result.cache_hit,
             seconds=run_result.seconds,
             worker=run_result.worker,
+            metrics=getattr(run_result, "metrics", None),
         ))
         return self.records[-1]
 
@@ -113,6 +124,7 @@ class RunManifest:
             "hit_rate": self.hit_rate,
             "workers_used": self.workers_used,
             "simulated_seconds": self.simulated_seconds,
+            "metrics": self.metrics,
             "records": [r.to_dict() for r in self.records],
         }
 

@@ -116,6 +116,8 @@ class RunResult:
     seconds: float = 0.0
     #: worker slot that simulated it (None = cache or main process)
     worker: int = None
+    #: metrics snapshot recorded while simulating (None for cache hits)
+    metrics: dict = None
 
 
 def paper_grid(systems=None, benchmarks=None, with_energy=True):

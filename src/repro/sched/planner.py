@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 
 from repro.ckks.params import PAPER_PARAMS
 from repro.cost.calibration import DEFAULT_CALIBRATION
+from repro.obs.metrics import inc as _metric_inc
+from repro.obs.spans import span as _span
 from repro.cost.energy import EnergyAccumulator, EnergyModel
 from repro.cost.model import OpCostModel
 from repro.cost.ops import (
@@ -138,8 +140,14 @@ class Planner:
 
     # ------------------------------------------------------------------
 
-    def run_model(self, model, with_energy=True):
-        """Simulate a full model inference; returns a ModelRunResult."""
+    def run_model(self, model, with_energy=True, trace=False):
+        """Simulate a full model inference; returns a ModelRunResult.
+
+        With ``trace=True`` every step is simulated with event recording
+        on, and the merged result carries one step-labeled, time-shifted
+        ``TraceEvent`` stream for the whole run (Gantt / Chrome-trace
+        material; costs memory proportional to task count).
+        """
         scale = model.work_scale * self.calibration.work_scale.get(
             model.name, 1.0
         )
@@ -147,12 +155,18 @@ class Planner:
             model_name=model.name, cluster_name=self.cluster.name
         )
         merged = SimResult()
+        simulator = (Simulator(self.cluster, trace=True) if trace
+                     else self.simulator)
         energy_model = EnergyModel(self.cluster.card, self.calibration)
         energy = EnergyAccumulator()
         for step in model.steps:
             builder = ProgramBuilder(self.cluster.total_cards)
-            self._map_step(step, builder, scale)
-            sim = self.simulator.run(builder.build())
+            self.map_step(step, builder, scale)
+            with _span("sim.step", category="sim", step=step.name,
+                       procedure=step.procedure):
+                sim = simulator.run(builder.build(), step=step.name)
+            _metric_inc("sched.procedure.seconds", sim.makespan,
+                        procedure=step.procedure)
             merged.merge_sequential(sim)
             proc = step.procedure
             result.procedure_span[proc] = (
@@ -184,7 +198,26 @@ class Planner:
 
     # ------------------------------------------------------------------
 
+    def map_step(self, step, builder, scale):
+        """Emit ``step``'s task programs into ``builder`` (public API).
+
+        ``scale`` is the packing work multiplier for unit-parallel steps
+        (``model.work_scale`` times the calibration's per-model factor);
+        pass 1.0 to price a step at face value.  This is the supported
+        way to map a single step for tracing/profiling — the CLI's
+        ``trace`` and ``profile`` commands route through it.
+        """
+        _metric_inc("sched.planner.steps_mapped", kind=step.kind)
+        with _span("plan.step", category="planner", step=step.name,
+                   kind=step.kind, procedure=step.procedure,
+                   cards=builder.num_nodes):
+            self._map_step_inner(step, builder, scale)
+
+    # Backwards-compatible alias (pre-observability private name).
     def _map_step(self, step, builder, scale):
+        self.map_step(step, builder, scale)
+
+    def _map_step_inner(self, step, builder, scale):
         # The packing calibration (work_scale) only applies to
         # unit-parallel steps: their Table-I unit counts abstract over the
         # implementation's ciphertext packing.  Polynomial evaluations and

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import heapq
 
+from repro.obs.metrics import inc as _metric_inc
 from repro.sim.fabrics import build_fabric
 from repro.sim.program import BROADCAST, RecvTask, SendTask
 from repro.sim.result import NodeStats, SimResult, TraceEvent
@@ -66,13 +67,18 @@ class Simulator:
 
     # ------------------------------------------------------------------
 
-    def run(self, programs):
-        """Simulate the programs to completion; returns a SimResult."""
+    def run(self, programs, step=None):
+        """Simulate the programs to completion; returns a SimResult.
+
+        ``step`` optionally names the host-scheduled step being
+        simulated; traced events carry it in their ``step`` field.
+        """
         n = self.cluster.total_cards
         if len(programs) != n:
             raise SimulationError(
                 f"got {len(programs)} programs for {n} cards"
             )
+        self._step = step
         self.fabric.reset()
         self._programs = programs
         self._nodes = [_NodeState(len(p.compute)) for p in programs]
@@ -98,6 +104,11 @@ class Simulator:
         for node, st in enumerate(self._nodes):
             st.stats.compute_done_at = st.comp_busy_until
             st.stats.comm_done_at = st.comm_busy_until
+        _metric_inc("sim.engine.runs")
+        _metric_inc("sim.engine.tasks",
+                    sum(st.stats.tasks_executed for st in self._nodes))
+        _metric_inc("sim.engine.transfers", result.transfers)
+        _metric_inc("sim.engine.bytes_transferred", result.bytes_transferred)
         return result
 
     # ------------------------------------------------------------------
@@ -135,7 +146,7 @@ class Simulator:
             if self.trace_enabled and task.duration > 0:
                 self._result.trace.append(TraceEvent(
                     node=node, kind="compute", tag=task.tag,
-                    start=now, end=end,
+                    start=now, end=end, step=self._step,
                 ))
             idx = st.comp_idx
             st.comp_finished[idx] = end
@@ -231,14 +242,22 @@ class Simulator:
         self._result.bytes_transferred += task.size * len(dsts)
         self._result.transfers += len(dsts)
         if self.trace_enabled:
+            if task.dst == BROADCAST:
+                send_channel = f"{node}->*"
+            elif multicast:
+                send_channel = f"{node}->{{{','.join(map(str, dsts))}}}"
+            else:
+                send_channel = f"{node}->{task.dst}"
             self._result.trace.append(TraceEvent(
                 node=node, kind="send", tag=task.tag,
-                start=now, end=release,
+                start=now, end=release, step=self._step,
+                channel=send_channel,
             ))
             for dst, t in deliveries.items():
                 self._result.trace.append(TraceEvent(
                     node=dst, kind="recv", tag=task.tag,
-                    start=now, end=t,
+                    start=now, end=t, step=self._step,
+                    channel=f"{node}->{dst}",
                 ))
         for dst, t in deliveries.items():
             self._schedule(t, self._deliver, dst)

@@ -16,24 +16,47 @@ __all__ = ["SimResult", "NodeStats", "TraceEvent"]
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One recorded interval of simulated activity (for Gantt views)."""
+    """One recorded interval of simulated activity (for Gantt views).
+
+    ``step`` and ``channel`` are optional provenance labels: the
+    host-scheduled step the event belongs to (Procedure 2) and, for
+    send/recv events, the ``"src->dst"`` fabric channel.  Both default
+    to None so cache blobs written before they existed still load.
+    """
 
     node: int
     kind: str  # "compute" | "send" | "recv"
     tag: str
     start: float
     end: float
+    step: str = None
+    channel: str = None
 
     @property
     def duration(self):
         return self.end - self.start
 
+    def shifted(self, offset):
+        """The same event translated ``offset`` seconds later."""
+        return dataclasses.replace(self, start=self.start + offset,
+                                   end=self.end + offset)
+
     def to_dict(self):
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        # Omit unset optional labels: keeps blobs compact and identical
+        # to the pre-step/channel on-disk format.
+        for key in ("step", "channel"):
+            if data[key] is None:
+                del data[key]
+        return data
+
+    _FIELDS = ("node", "kind", "tag", "start", "end", "step", "channel")
 
     @classmethod
     def from_dict(cls, data):
-        return cls(**data)
+        # Tolerate both old blobs (missing step/channel) and future ones
+        # (unknown extra keys).
+        return cls(**{k: data[k] for k in cls._FIELDS if k in data})
 
 
 @dataclass
@@ -103,6 +126,11 @@ class SimResult:
             self.nodes = [NodeStats() for _ in other.nodes]
         if len(self.nodes) != len(other.nodes):
             raise ValueError("cannot merge results with different node counts")
+        if other.trace:
+            # Later steps start after the barrier: translate their events
+            # past everything merged so far, giving one full-run timeline.
+            offset = self.makespan
+            self.trace.extend(ev.shifted(offset) for ev in other.trace)
         self.makespan += other.makespan
         for mine, theirs in zip(self.nodes, other.nodes):
             mine.compute_busy += theirs.compute_busy

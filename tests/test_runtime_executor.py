@@ -53,6 +53,38 @@ class TestDeterminism:
         parallel = execute(requests, jobs=4, cache=MemoryCache())
         assert _dumps(serial) == _dumps(parallel)
 
+    def test_metrics_merge_bit_identical_serial_vs_jobs4(self):
+        requests = _small_grid(with_energy=False)
+        serial = execute(requests, jobs=1, cache=MemoryCache())
+        parallel = execute(requests, jobs=4, cache=MemoryCache())
+        assert serial.manifest.metrics is not None
+        assert json.dumps(serial.manifest.metrics, sort_keys=True) \
+            == json.dumps(parallel.manifest.metrics, sort_keys=True)
+        # Snapshots must actually carry simulation counters.
+        counters = serial.manifest.metrics["counters"]
+        assert counters["sim.engine.runs"][""] > 0
+        assert counters["runtime.cache.misses"][""] == len(requests)
+
+    def test_manifest_metrics_embedded_in_json(self):
+        requests = _small_grid(with_energy=False)
+        outcome = execute(requests, jobs=2, cache=MemoryCache())
+        payload = json.loads(outcome.manifest.to_json())
+        assert "sim.engine.runs" in payload["metrics"]["counters"]
+        simulated = [r for r in payload["records"] if not r["cache_hit"]]
+        assert all(r["metrics"] is not None for r in simulated)
+
+    def test_cache_hits_carry_no_fresh_metrics(self):
+        request = RunRequest(benchmark="resnet18",
+                             cluster=hydra_cluster(1, 1),
+                             with_energy=False)
+        cache = MemoryCache()
+        execute([request], jobs=1, cache=cache)
+        second = execute([request], jobs=1, cache=cache)
+        assert second.manifest.hits == 1
+        counters = second.manifest.metrics["counters"]
+        assert counters["runtime.cache.hits"][""] == 1
+        assert "sim.engine.runs" not in counters
+
     def test_results_in_request_order(self):
         requests = _small_grid(with_energy=False)
         outcome = execute(requests, jobs=4, cache=MemoryCache())
