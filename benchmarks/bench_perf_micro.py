@@ -1,0 +1,31 @@
+"""Microbenchmark bridge: the ``repro.perf`` suite under pytest-benchmark.
+
+``repro perf run`` is the canonical timer (it feeds the CI regression
+gate via ``BENCH_perf.json``); this harness exposes the same pinned
+workloads to pytest-benchmark for interactive work — comparing runs with
+``--benchmark-compare``, histograms, etc.  Only the fast kernels are
+included so ``pytest benchmarks/bench_perf_micro.py`` stays
+seconds-cheap; the full suite (bootstrap stage, BSGS matmul) lives in
+``repro perf run``.
+"""
+
+import pytest
+from _harness import perf_workload_fixture
+
+FAST_WORKLOADS = (
+    "ntt.forward.n4096",
+    "ntt.inverse.n4096",
+    "ntt.forward.n8192",
+    "ntt.inverse.n8192",
+    "rns.mul.n4096x5",
+    "rns.add.n4096x5",
+    "ckks.keyswitch.mult",
+    "ckks.rotation",
+    "sim.hydra_s.resnet18_step",
+)
+
+
+@pytest.mark.parametrize("name", FAST_WORKLOADS)
+def test_perf_micro(benchmark, name):
+    run, state = perf_workload_fixture(name)
+    benchmark(run, state)

@@ -28,6 +28,7 @@ class CkksContext:
             num_special_moduli=params.num_special_moduli,
         )
         self.encoder = CkksEncoder(params.poly_degree)
+        self._galois_cache = {}
 
     # ------------------------------------------------------------------
     # Levels and bases
@@ -58,10 +59,19 @@ class CkksContext:
     # ------------------------------------------------------------------
 
     def galois_element_for_step(self, steps):
-        """Galois element implementing a left slot-rotation by ``steps``."""
+        """Galois element implementing a left slot-rotation by ``steps``.
+
+        Memoized: rotation-heavy code (BSGS transforms, bootstrapping)
+        resolves the same handful of steps over and over.
+        """
         n = self.params.slot_count
-        two_n = 2 * self.params.poly_degree
-        return pow(5, steps % n, two_n)
+        steps = steps % n
+        element = self._galois_cache.get(steps)
+        if element is None:
+            two_n = 2 * self.params.poly_degree
+            element = pow(5, steps, two_n)
+            self._galois_cache[steps] = element
+        return element
 
     @property
     def conjugation_element(self):

@@ -25,6 +25,10 @@ class Evaluator:
 
     def __init__(self, context):
         self.context = context
+        # Memoized switch-key projections onto extended bases, keyed by
+        # (id(key), basis).  The key object itself is stored alongside the
+        # projection so its id can never be recycled while cached.
+        self._switch_projections = {}
 
     # ------------------------------------------------------------------
     # Scale / basis plumbing
@@ -200,19 +204,45 @@ class Evaluator:
         data_basis = d.basis
         special = rns.special_indices
         ext_basis = data_basis + special
+        pairs = self._projected_pairs(switch_key, data_basis, ext_basis)
         acc0 = RnsPoly.zeros(rns, ext_basis)
         acc1 = RnsPoly.zeros(rns, ext_basis)
         for row, idx in enumerate(data_basis):
+            d_i = self._extend_single_limb(d, row, idx, ext_basis)
+            k0, k1 = pairs[idx]
+            acc0 = acc0.add(d_i.multiply(k0))
+            acc1 = acc1.add(d_i.multiply(k1))
+        return acc0.mod_down_by(special), acc1.mod_down_by(special)
+
+    def _projected_pairs(self, switch_key, data_basis, ext_basis):
+        """Switch-key pairs projected onto ``ext_basis`` (memoized).
+
+        Every keyswitch at the same level re-projects the same key
+        polynomials onto the same extended basis; caching the projection
+        turns that per-call copy into a dictionary lookup.  Only the pairs
+        named by ``data_basis`` are projected.
+        """
+        cache_key = (id(switch_key), ext_basis)
+        cached = self._switch_projections.get(cache_key)
+        if cached is not None:
+            return cached[1]
+        for idx in data_basis:
             if idx >= len(switch_key.pairs):
                 raise ValueError(
                     f"switch key has {len(switch_key.pairs)} limb pairs, "
                     f"needs index {idx}"
                 )
-            d_i = self._extend_single_limb(d, row, idx, ext_basis)
-            k0, k1 = switch_key.pairs[idx]
-            acc0 = acc0.add(d_i.multiply(k0.keep_basis(ext_basis)))
-            acc1 = acc1.add(d_i.multiply(k1.keep_basis(ext_basis)))
-        return acc0.mod_down_by(special), acc1.mod_down_by(special)
+        pairs = {
+            idx: (
+                switch_key.pairs[idx][0].keep_basis(ext_basis),
+                switch_key.pairs[idx][1].keep_basis(ext_basis),
+            )
+            for idx in data_basis
+        }
+        if len(self._switch_projections) >= 256:
+            self._switch_projections.clear()
+        self._switch_projections[cache_key] = (switch_key, pairs)
+        return pairs
 
     def _extend_single_limb(self, d, row, idx, ext_basis):
         """Spread limb ``row`` of ``d`` across ``ext_basis`` (digit mod-up)."""

@@ -86,6 +86,7 @@ class KeyGenerator:
                 hamming_weight=params.secret_hamming_weight,
             )
         )
+        self._switch_factors = None
 
     # ------------------------------------------------------------------
 
@@ -116,22 +117,36 @@ class KeyGenerator:
 
     # ------------------------------------------------------------------
 
+    def _decomposition_factors(self):
+        """Per-limb constants ``P * Q_tilde_i mod PQ`` (memoized).
+
+        The CRT-idempotent big-int arithmetic is identical for every
+        switch key generated from this context, so it is computed once and
+        shared by the relinearization key and all Galois keys.
+        """
+        if self._switch_factors is None:
+            rns = self.context.rns
+            big_p = rns.modulus_product(rns.special_indices)
+            data_moduli = [rns.moduli[i] for i in rns.data_indices]
+            big_q = 1
+            for q in data_moduli:
+                big_q *= q
+            factors = []
+            for q_i in data_moduli:
+                qhat = big_q // q_i
+                q_tilde = qhat * mod_inverse(qhat % q_i, q_i)  # CRT idempotent
+                factors.append((big_p * q_tilde) % (big_q * big_p))
+            self._switch_factors = tuple(factors)
+        return self._switch_factors
+
     def _create_switch_key(self, source_secret):
         """Build the per-limb decomposition key hiding ``P*Qt_i*s'``."""
         rns = self.context.rns
         full = rns.data_indices + rns.special_indices
         s = self.secret_key.poly
-        big_p = rns.modulus_product(rns.special_indices)
-        data_moduli = [rns.moduli[i] for i in rns.data_indices]
-        big_q = 1
-        for q in data_moduli:
-            big_q *= q
         stddev = self.context.params.error_stddev
         pairs = []
-        for i, q_i in enumerate(data_moduli):
-            qhat = big_q // q_i
-            q_tilde = qhat * mod_inverse(qhat % q_i, q_i)  # CRT idempotent
-            factor = (big_p * q_tilde) % (big_q * big_p)
+        for factor in self._decomposition_factors():
             a_i = RnsPoly.random_uniform(rns, full, self._rng)
             e_i = RnsPoly.random_error(rns, full, self._rng, stddev)
             k0 = (

@@ -30,6 +30,14 @@ Commands
     loadable in ``chrome://tracing`` / https://ui.perfetto.dev.
 ``report -b BENCHMARK``
     Compact full-system comparison (Table II style).
+``perf run [--out FILE] [--workloads ...] [--warmup N] [--repeats N]``
+    Time the pinned microbenchmark suite (NTT, RNS, keyswitch/rotation,
+    BSGS matmul, a bootstrap stage, one simulated step) and emit a
+    ``repro.perf/v1`` JSON report with a machine calibration score.
+``perf compare OLD NEW --max-regress PCT``
+    Compare two reports (machine-normalized medians); exits nonzero when
+    any workload slows beyond the threshold or disappears.  CI runs this
+    against the committed ``BENCH_perf.json``.
 """
 
 from __future__ import annotations
@@ -116,6 +124,32 @@ def build_parser():
     report_p = sub.add_parser(
         "report", help="compact full-system report (Table II style)")
     report_p.add_argument("-b", "--benchmark", default="resnet18")
+
+    perf_p = sub.add_parser(
+        "perf", help="microbenchmark suite + regression gate")
+    perf_sub = perf_p.add_subparsers(dest="perf_command", required=True)
+
+    perf_run = perf_sub.add_parser(
+        "run", help="time the pinned suite, emit a repro.perf/v1 report")
+    perf_run.add_argument("--out", default=None,
+                          help="write the JSON report to FILE "
+                               "(default: stdout)")
+    perf_run.add_argument("--workloads", nargs="+", default=None,
+                          help="subset of workload names (default: all)")
+    perf_run.add_argument("--warmup", type=int, default=None,
+                          help="warmup iterations per workload")
+    perf_run.add_argument("--repeats", type=int, default=None,
+                          help="timed iterations per workload")
+    perf_run.add_argument("--list", action="store_true",
+                          help="list suite workloads and exit")
+
+    perf_cmp = perf_sub.add_parser(
+        "compare", help="compare two reports; nonzero exit on regression")
+    perf_cmp.add_argument("old", help="baseline report (BENCH_perf.json)")
+    perf_cmp.add_argument("new", help="candidate report")
+    perf_cmp.add_argument("--max-regress", type=float, default=20.0,
+                          help="allowed normalized slowdown in percent "
+                               "(default: 20)")
     return parser
 
 
@@ -391,6 +425,53 @@ def _cmd_report(args, out):
     return 0
 
 
+def _cmd_perf(args, out):
+    import json as _json
+
+    from repro.perf import (
+        DEFAULT_REPEATS,
+        DEFAULT_WARMUP,
+        compare_reports,
+        load_report,
+        run_suite,
+        save_report,
+        suite_names,
+    )
+    from repro.perf.workloads import SUITE
+
+    if args.perf_command == "run":
+        if args.list:
+            for name in suite_names():
+                out(f"{name:34s} {SUITE[name].description}")
+            return 0
+        warmup = args.warmup if args.warmup is not None else DEFAULT_WARMUP
+        repeats = (args.repeats if args.repeats is not None
+                   else DEFAULT_REPEATS)
+        try:
+            report = run_suite(names=args.workloads, warmup=warmup,
+                               repeats=repeats, progress=out)
+        except KeyError as exc:
+            out(f"error: {exc.args[0]}")
+            return 2
+        if args.out:
+            save_report(report, args.out)
+            out(f"wrote {args.out}")
+        else:
+            out(_json.dumps(report, indent=2, sort_keys=True))
+        return 0
+
+    # compare
+    try:
+        old = load_report(args.old)
+        new = load_report(args.new)
+    except (OSError, ValueError, _json.JSONDecodeError) as exc:
+        out(f"error: {exc}")
+        return 2
+    result = compare_reports(old, new, max_regress_pct=args.max_regress)
+    out(result.render())
+    return 1 if result.has_regressions else 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
@@ -401,6 +482,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "profile": _cmd_profile,
     "report": _cmd_report,
+    "perf": _cmd_perf,
 }
 
 

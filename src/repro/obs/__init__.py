@@ -36,6 +36,7 @@ from repro.obs.chrome import (
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     MetricsRegistry,
+    counter_totals,
     get_registry,
     inc,
     merge_snapshots,
@@ -56,6 +57,7 @@ __all__ = [
     "Span",
     "chrome_trace",
     "chrome_trace_json",
+    "counter_totals",
     "current_recorder",
     "get_registry",
     "inc",

@@ -29,6 +29,7 @@ from contextlib import contextmanager
 __all__ = [
     "DEFAULT_BUCKETS",
     "MetricsRegistry",
+    "counter_totals",
     "get_registry",
     "inc",
     "merge_snapshots",
@@ -151,6 +152,19 @@ def _merge_hist(into, hist):
                           else pick(into[side], hist[side]))
     for bound, count in hist["buckets"].items():
         into["buckets"][bound] = into["buckets"].get(bound, 0) + count
+
+
+def counter_totals(snapshot):
+    """Collapse a snapshot's counters over labels: ``{name: total}``.
+
+    Useful for op-level perf accounting (``repro perf run`` reports the
+    number of NTTs / evaluator ops a workload performed) where the label
+    breakdown is noise and only the per-name volume matters.
+    """
+    return {
+        name: sum(series.values())
+        for name, series in sorted(snapshot.get("counters", {}).items())
+    }
 
 
 def merge_snapshots(snapshots):

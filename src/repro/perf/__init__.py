@@ -1,0 +1,54 @@
+"""Performance-regression subsystem: pinned microbenchmarks + CI gate.
+
+Three pieces:
+
+* :mod:`repro.perf.workloads` — the pinned, deterministic benchmark
+  suite covering the CKKS/NTT hot paths and one scheduled simulation
+  step (the kernels Hydra accelerates in hardware);
+* :mod:`repro.perf.runner` — warmup+repeat timing with a machine
+  calibration score and op-level metrics capture;
+* :mod:`repro.perf.baseline` — the ``BENCH_perf.json`` store and the
+  normalized comparator behind ``repro perf compare``.
+
+CLI::
+
+    repro perf run --out bench_new.json
+    repro perf compare BENCH_perf.json bench_new.json --max-regress 20
+"""
+
+from repro.perf.baseline import (
+    SCHEMA,
+    CompareResult,
+    WorkloadDelta,
+    compare_reports,
+    load_report,
+    save_report,
+    validate_report,
+)
+from repro.perf.runner import (
+    DEFAULT_REPEATS,
+    DEFAULT_WARMUP,
+    calibrate,
+    run_suite,
+    run_workload,
+)
+from repro.perf.workloads import SUITE, PerfWorkload, get_workload, suite_names
+
+__all__ = [
+    "DEFAULT_REPEATS",
+    "DEFAULT_WARMUP",
+    "SCHEMA",
+    "SUITE",
+    "CompareResult",
+    "PerfWorkload",
+    "WorkloadDelta",
+    "calibrate",
+    "compare_reports",
+    "get_workload",
+    "load_report",
+    "run_suite",
+    "run_workload",
+    "save_report",
+    "suite_names",
+    "validate_report",
+]

@@ -3,17 +3,41 @@
 An :class:`RnsPoly` stores one residue polynomial per active modulus
 (coefficient representation, shape ``(limbs, N)`` of ``uint64``).  All ring
 operations are limb-parallel, exactly how Hydra's compute units process RNS
-data.  Polynomials are value objects: every operation returns a new
-polynomial; in-place mutation is never exposed.
+data: products run through the context's stacked NTT kernels (one ndarray
+pass per limb chunk, not a Python loop per limb), and rescale/mod-down use
+per-basis constant columns memoized on the context.  Polynomials are value
+objects: every operation returns a new polynomial; in-place mutation is
+never exposed.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 import numpy as np
 
 from repro.math.modular import mod_inverse
 
 __all__ = ["RnsPoly"]
+
+
+@lru_cache(maxsize=512)
+def _automorphism_maps(n, g):
+    """Destination indices and sign-flip mask for ``X -> X**g`` (memoized).
+
+    Coefficient ``i`` lands at index ``g*i mod 2N`` with a sign flip when
+    the product wraps an odd number of times — pure index wiring, which is
+    exactly what Hydra's Automorphism unit hardwires.  Rotation-heavy code
+    (keyswitched rotations, BSGS transforms) hits the same few Galois
+    elements over and over, so the maps are cached per ``(N, g)``.
+    """
+    idx = np.arange(n, dtype=np.int64)
+    target = idx * g % (2 * n)
+    dest = target % n
+    flip = target >= n
+    dest.setflags(write=False)
+    flip.setflags(write=False)
+    return dest, flip
 
 
 class RnsPoly:
@@ -57,16 +81,28 @@ class RnsPoly:
         """Build a polynomial from (possibly signed, big) integer coefficients.
 
         ``coeffs`` is any sequence of Python ints of length ``N``; each is
-        reduced into every modulus of ``basis``.
+        reduced into every modulus of ``basis``.  Coefficients that fit in
+        ``int64`` reduce in one vectorized pass; big integers fall back to
+        exact per-limb Python reduction.
         """
         basis = tuple(basis)
         n = context.poly_degree
         if len(coeffs) != n:
             raise ValueError(f"expected {n} coefficients, got {len(coeffs)}")
-        data = np.empty((len(basis), n), dtype=np.uint64)
-        for row, idx in enumerate(basis):
-            q = context.moduli[idx]
-            data[row] = np.array([int(c) % q for c in coeffs], dtype=np.uint64)
+        try:
+            arr = np.asarray(coeffs, dtype=np.int64)
+        except (OverflowError, TypeError, ValueError):
+            data = np.empty((len(basis), n), dtype=np.uint64)
+            for row, idx in enumerate(basis):
+                q = context.moduli[idx]
+                data[row] = np.array(
+                    [int(c) % q for c in coeffs], dtype=np.uint64
+                )
+            return cls(context, data, basis)
+        q_col = context.moduli_column(basis).astype(np.int64)
+        # NumPy's % matches Python's sign convention, so the result of
+        # reducing an int64 row by a positive modulus is already in [0, q).
+        data = (arr[None, :] % q_col).astype(np.uint64)
         return cls(context, data, basis)
 
     @classmethod
@@ -122,46 +158,45 @@ class RnsPoly:
             )
 
     def _moduli_column(self):
-        return np.array(
-            [self.context.moduli[i] for i in self.basis], dtype=np.uint64
-        )[:, None]
+        return self.context.moduli_column(self.basis)
 
     def add(self, other):
         """Return ``self + other``."""
         self._check_compatible(other)
         q = self._moduli_column()
-        return RnsPoly(self.context, (self.data + other.data) % q, self.basis)
+        s = self.data + other.data
+        return RnsPoly(self.context, np.minimum(s, s - q), self.basis)
 
     def sub(self, other):
         """Return ``self - other``."""
         self._check_compatible(other)
         q = self._moduli_column()
-        return RnsPoly(
-            self.context, (self.data + q - other.data) % q, self.basis
-        )
+        d = self.data + (q - other.data)
+        return RnsPoly(self.context, np.minimum(d, d - q), self.basis)
 
     def negate(self):
         """Return ``-self``."""
         q = self._moduli_column()
-        return RnsPoly(self.context, (q - self.data) % q, self.basis)
+        d = q - self.data
+        return RnsPoly(self.context, np.minimum(d, d - q), self.basis)
 
     def multiply(self, other):
-        """Negacyclic product ``self * other`` (limb-wise NTT multiply)."""
+        """Negacyclic product ``self * other`` (limb-batched NTT multiply)."""
         self._check_compatible(other)
-        out = np.empty_like(self.data)
-        for row, idx in enumerate(self.basis):
-            ntt = self.context.ntts[idx]
-            out[row] = ntt.negacyclic_multiply(self.data[row], other.data[row])
+        out = self.context.negacyclic_multiply(
+            self.data, other.data, self.basis
+        )
         return RnsPoly(self.context, out, self.basis)
 
     def multiply_scalar(self, scalar):
         """Return ``self * scalar`` for an integer scalar."""
-        out = np.empty_like(self.data)
-        for row, idx in enumerate(self.basis):
-            q = self.context.moduli[idx]
-            s = np.uint64(int(scalar) % q)
-            out[row] = self.data[row] * s % np.uint64(q)
-        return RnsPoly(self.context, out, self.basis)
+        scalar = int(scalar)
+        q = self._moduli_column()
+        s_col = np.array(
+            [scalar % self.context.moduli[idx] for idx in self.basis],
+            dtype=np.uint64,
+        )[:, None]
+        return RnsPoly(self.context, self.data * s_col % q, self.basis)
 
     # ------------------------------------------------------------------
     # Automorphisms (rotations / conjugation)
@@ -178,17 +213,12 @@ class RnsPoly:
         g = int(galois_element) % (2 * n)
         if g % 2 == 0:
             raise ValueError(f"galois element must be odd, got {galois_element}")
-        idx = np.arange(n, dtype=np.int64)
-        target = idx * g % (2 * n)
-        dest = target % n
-        flip = (target >= n)
-        out = np.zeros_like(self.data)
+        dest, flip = _automorphism_maps(n, g)
         q = self._moduli_column()
-        values = self.data
-        negated = (q - values) % q
-        for row in range(values.shape[0]):
-            out[row, dest[~flip]] = values[row, idx[~flip]]
-            out[row, dest[flip]] = negated[row, idx[flip]]
+        neg = q - self.data
+        src = np.where(flip[None, :], np.minimum(neg, neg - q), self.data)
+        out = np.empty_like(self.data)
+        out[:, dest] = src
         return RnsPoly(self.context, out, self.basis)
 
     # ------------------------------------------------------------------
@@ -225,15 +255,12 @@ class RnsPoly:
         last_signed = self.data[-1].astype(np.int64)
         r = np.where(last_signed > q_last // 2, last_signed - q_last, last_signed)
         out_basis = self.basis[:-1]
-        out = np.empty((len(out_basis), self.context.poly_degree), np.uint64)
-        for row, idx in enumerate(out_basis):
-            q = self.context.moduli[idx]
-            qu = np.uint64(q)
-            inv = np.uint64(mod_inverse(q_last % q, q))
-            r_mod_q = np.mod(r, q).astype(np.uint64)
-            diff = (self.data[row] + qu - r_mod_q) % qu
-            out[row] = diff * inv % qu
-        return RnsPoly(self.context, out, out_basis)
+        q = self.context.moduli_column(out_basis)
+        inv = self.context.modinv_column(q_last, out_basis)
+        r_mod_q = (r[None, :] % q.astype(np.int64)).astype(np.uint64)
+        diff = self.data[:-1] + (q - r_mod_q)
+        diff = np.minimum(diff, diff - q)
+        return RnsPoly(self.context, diff * inv % q, out_basis)
 
     def mod_down_by(self, special_indices):
         """Divide by the product of the special moduli (keyswitch mod-down).
@@ -251,14 +278,11 @@ class RnsPoly:
         p_part = self.data[-len(special):]
         converted = self.context.base_convert(p_part, special, keep)
         big_p = self.context.modulus_product(special)
-        out = np.empty((len(keep), self.context.poly_degree), np.uint64)
-        for row, idx in enumerate(keep):
-            q = self.context.moduli[idx]
-            qu = np.uint64(q)
-            inv = np.uint64(mod_inverse(big_p % q, q))
-            diff = (self.data[row] + qu - converted[row] % qu) % qu
-            out[row] = diff * inv % qu
-        return RnsPoly(self.context, out, keep)
+        q = self.context.moduli_column(keep)
+        inv = self.context.modinv_column(big_p, keep)
+        diff = self.data[: len(keep)] + (q - converted)
+        diff = np.minimum(diff, diff - q)
+        return RnsPoly(self.context, diff * inv % q, keep)
 
     # ------------------------------------------------------------------
     # Reconstruction (for decoding / debugging)
