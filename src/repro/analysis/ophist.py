@@ -1,0 +1,44 @@
+"""Per-card FHE-op histograms from simulated runs.
+
+The simulator threads every ``ComputeTask.ops`` trace into
+``SimResult.node_ops``; this module turns that list into table rows the
+CLI (``repro profile``) and notebooks can render directly.
+"""
+
+from __future__ import annotations
+
+from repro.ir import CANONICAL_ORDER
+
+__all__ = ["op_histogram"]
+
+
+def op_histogram(node_ops, max_rows=None):
+    """Tabulate per-card op totals.
+
+    ``node_ops`` is ``SimResult.node_ops`` (entries may be ``None`` for
+    cards that never ran instrumented compute).  Returns
+    ``(headers, rows)``: headers are ``["Card", <op>, ...]`` restricted
+    to ops that actually occur (canonical order), rows are one line per
+    instrumented card plus a final ``"total"`` line.  Returns
+    ``([], [])`` when no card carried a trace.
+    """
+    present = [(i, t) for i, t in enumerate(node_ops) if t is not None]
+    if not present:
+        return [], []
+    seen = set()
+    for _, trace in present:
+        seen.update(trace.totals())
+    ops = [op for op in CANONICAL_ORDER if op.value in seen]
+    headers = ["Card"] + [op.value for op in ops]
+    rows = []
+    totals = [0] * len(ops)
+    for i, trace in present:
+        counts = trace.totals()
+        row = [counts.get(op.value, 0) for op in ops]
+        totals = [a + b for a, b in zip(totals, row)]
+        rows.append([i] + row)
+    if max_rows is not None and len(rows) > max_rows:
+        rows = rows[:max_rows]
+        rows.append(["..."] + ["" for _ in ops])
+    rows.append(["total"] + totals)
+    return headers, rows

@@ -10,8 +10,12 @@
 """
 
 from repro.baselines.asic import ASIC_ACCELERATORS, asic_runtime, asic_edap
-from repro.baselines.fab import FAB_L, FAB_M, FAB_S, fab_planner
-from repro.baselines.poseidon import POSEIDON, poseidon_planner
+from repro.baselines.fab import FAB_L, FAB_M, FAB_S, fab_cost_model, fab_planner
+from repro.baselines.poseidon import (
+    POSEIDON,
+    poseidon_cost_model,
+    poseidon_planner,
+)
 
 __all__ = [
     "ASIC_ACCELERATORS",
@@ -21,6 +25,8 @@ __all__ = [
     "POSEIDON",
     "asic_edap",
     "asic_runtime",
+    "fab_cost_model",
     "fab_planner",
+    "poseidon_cost_model",
     "poseidon_planner",
 ]

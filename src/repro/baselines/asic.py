@@ -4,6 +4,11 @@ The paper compares against these simulated ASICs using their published
 numbers ("data is sourced from precise simulations based on the specific
 architectures", Section V-B); re-deriving four proprietary ASIC designs is
 out of scope, so we carry the same reference values (Tables II and III).
+
+Unlike the FPGA baselines (``fab_cost_model`` / ``poseidon_cost_model``),
+there is deliberately no ``repro.ir`` lowering here: these rows are
+published end-to-end numbers, not per-op models, so routing an ``OpTrace``
+through them would fabricate a granularity the sources do not provide.
 """
 
 from __future__ import annotations

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ckks.ciphertext import Ciphertext, Plaintext
-from repro.obs.metrics import inc as _metric_inc
+from repro.ir import FheOp, record_op
 from repro.poly import RnsPoly
 
 __all__ = ["Evaluator"]
@@ -71,8 +71,8 @@ class Evaluator:
 
     def add(self, ct_a: Ciphertext, ct_b: Ciphertext) -> Ciphertext:
         """Homomorphic addition (paper op: HAdd)."""
-        _metric_inc("ckks.evaluator.ops", op="hadd")
         ct_a, ct_b = self._align(ct_a, ct_b)
+        record_op(FheOp.HADD, level=ct_a.level)
         self._check_scales(ct_a.scale, ct_b.scale)
         return Ciphertext(
             c0=ct_a.c0.add(ct_b.c0),
@@ -81,8 +81,8 @@ class Evaluator:
         )
 
     def sub(self, ct_a: Ciphertext, ct_b: Ciphertext) -> Ciphertext:
-        _metric_inc("ckks.evaluator.ops", op="hadd")
         ct_a, ct_b = self._align(ct_a, ct_b)
+        record_op(FheOp.HADD, level=ct_a.level)
         self._check_scales(ct_a.scale, ct_b.scale)
         return Ciphertext(
             c0=ct_a.c0.sub(ct_b.c0),
@@ -112,7 +112,7 @@ class Evaluator:
 
     def multiply_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
         """Plaintext-ciphertext multiplication (paper op: PMult)."""
-        _metric_inc("ckks.evaluator.ops", op="pmult")
+        record_op(FheOp.PMULT, level=ct.level)
         poly = pt.poly
         if poly.basis != ct.basis:
             poly = poly.keep_basis(ct.basis)
@@ -131,8 +131,8 @@ class Evaluator:
 
     def multiply(self, ct_a, ct_b, relin_key) -> Ciphertext:
         """Ciphertext-ciphertext multiplication with relinearization (CMult)."""
-        _metric_inc("ckks.evaluator.ops", op="cmult")
         ct_a, ct_b = self._align(ct_a, ct_b)
+        record_op(FheOp.CMULT, level=ct_a.level)
         d0 = ct_a.c0.multiply(ct_b.c0)
         d1 = ct_a.c0.multiply(ct_b.c1).add(ct_a.c1.multiply(ct_b.c0))
         d2 = ct_a.c1.multiply(ct_b.c1)
@@ -149,7 +149,7 @@ class Evaluator:
 
     def rescale(self, ct: Ciphertext) -> Ciphertext:
         """Divide by the last modulus, dropping one level (Rescale)."""
-        _metric_inc("ckks.evaluator.ops", op="rescale")
+        record_op(FheOp.RESCALE, level=ct.level)
         q_last = self.context.rns.moduli[ct.basis[-1]]
         return Ciphertext(
             c0=ct.c0.rescale_by_last(),
@@ -171,13 +171,13 @@ class Evaluator:
         """
         if steps % self.context.params.slot_count == 0:
             return ct
-        _metric_inc("ckks.evaluator.ops", op="rotation")
+        record_op(FheOp.ROTATION, level=ct.level)
         g = self.context.galois_element_for_step(steps)
         return self.apply_galois(ct, g, galois_keys.key_for(g))
 
     def conjugate(self, ct: Ciphertext, galois_keys) -> Ciphertext:
         """Complex-conjugate every slot."""
-        _metric_inc("ckks.evaluator.ops", op="conjugate")
+        record_op(FheOp.CONJUGATE, level=ct.level)
         g = self.context.conjugation_element
         return self.apply_galois(ct, g, galois_keys.key_for(g))
 
@@ -199,7 +199,7 @@ class Evaluator:
         to the ``Q_l ∪ P`` basis, multiplied into switching-key pair ``i``,
         accumulated, and the sum is divided by ``P`` (mod-down).
         """
-        _metric_inc("ckks.evaluator.ops", op="keyswitch")
+        record_op(FheOp.KEYSWITCH, level=len(d.basis) - 1)
         rns = self.context.rns
         data_basis = d.basis
         special = rns.special_indices

@@ -98,3 +98,12 @@ class LinearTransform:
     @property
     def diagonal_count(self):
         return len(self._diagonals)
+
+    @property
+    def diagonal_indices(self):
+        """The nonzero generalized-diagonal indices, sorted.
+
+        This is the structural input the analytic op model
+        (:func:`repro.ir.check.modeled_bsgs_trace`) predicts from.
+        """
+        return sorted(self._diagonals)

@@ -38,13 +38,26 @@ Commands
     Compare two reports (machine-normalized medians); exits nonzero when
     any workload slows beyond the threshold or disappears.  CI runs this
     against the committed ``BENCH_perf.json``.
+``validate-ops [--tiny] [--perturb OP] [--json] [--out FILE]``
+    Cross-validate the op IR: execute tiny ConvBN / FC / polynomial /
+    bootstrap-stage workloads through the functional CKKS layer while
+    recording an ``OpTrace``, rebuild the same counts analytically, and
+    diff them per op.  Exits nonzero on any divergence; ``--out FILE``
+    writes the machine-readable diff report (the CI artifact) and
+    ``--perturb OP`` deliberately breaks one modeled count to prove the
+    gate fails loudly.
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro.analysis import format_table, render_gantt, trace_summary
+from repro.analysis import (
+    format_table,
+    op_histogram,
+    render_gantt,
+    trace_summary,
+)
 from repro.core.system import (
     HydraSystem,
     available_benchmarks,
@@ -150,6 +163,19 @@ def build_parser():
     perf_cmp.add_argument("--max-regress", type=float, default=20.0,
                           help="allowed normalized slowdown in percent "
                                "(default: 20)")
+
+    validate_p = sub.add_parser(
+        "validate-ops",
+        help="cross-validate executed vs modeled FHE op counts")
+    validate_p.add_argument("--tiny", action="store_true",
+                            help="smallest ring sizes (seconds; CI mode)")
+    validate_p.add_argument("--perturb", default=None, metavar="OP",
+                            help="bump one modeled op count to prove the "
+                                 "gate fails (e.g. 'rotation')")
+    validate_p.add_argument("--json", action="store_true",
+                            help="print the diff report as JSON")
+    validate_p.add_argument("--out", default=None,
+                            help="also write the JSON diff report to FILE")
     return parser
 
 
@@ -384,6 +410,12 @@ def _cmd_profile(args, out):
     out(format_table(["Kind", "Tag", "Busy (s)"], rows,
                      title="Busy seconds by (kind, tag)",
                      float_fmt="{:.4f}"))
+    headers, op_rows = op_histogram(result.sim.node_ops, max_rows=12)
+    if op_rows:
+        out("")
+        out(format_table(headers, op_rows,
+                         title="FHE op histogram by card",
+                         float_fmt="{:.0f}"))
     counters = registry.snapshot()["counters"]
     if counters:
         out("")
@@ -472,6 +504,25 @@ def _cmd_perf(args, out):
     return 1 if result.has_regressions else 0
 
 
+def _cmd_validate_ops(args, out):
+    import json as _json
+
+    from repro.ir.validate import run_validation
+
+    report = run_validation(tiny=args.tiny, perturb=args.perturb)
+    if args.json:
+        out(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        out(report.render())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(_json.dumps(report.to_dict(), indent=2,
+                                 sort_keys=True))
+            fh.write("\n")
+        out(f"wrote {args.out}")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
@@ -483,6 +534,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "report": _cmd_report,
     "perf": _cmd_perf,
+    "validate-ops": _cmd_validate_ops,
 }
 
 

@@ -55,7 +55,7 @@ class Calibration:
     # Solved so that the single-card Hydra-S runtime of each benchmark
     # matches the paper's Table II column (41.29 / 686.63 / 462.44 /
     # 18004.83 s).  They scale only unit-parallel steps (the Table-I unit
-    # abstraction); see repro.sched.planner._map_step.
+    # abstraction); see repro.sched.planner.Planner.map_step.
     work_scale: dict = field(
         default_factory=lambda: {
             "resnet18": 0.5854,

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from repro.ckks.params import PAPER_PARAMS
 from repro.cost.ops import OpBundle
+from repro.ir import as_trace, coerce_op
 
 __all__ = ["OpComponents", "OpCostModel"]
 
@@ -217,7 +218,8 @@ class OpCostModel:
         return self.rotation(level)
 
     def op(self, name, level):
-        """Dispatch by operation name (the scheduler-facing entrypoint)."""
+        """Dispatch by operation (:class:`~repro.ir.FheOp` or its name)."""
+        name = coerce_op(name).value
         table = {
             "hadd": self.hadd,
             "pmult": self.pmult,
@@ -231,26 +233,43 @@ class OpCostModel:
         try:
             return table[name](level)
         except KeyError:
-            raise ValueError(f"unknown FHE operation {name!r}") from None
+            raise ValueError(
+                f"cost model has no lowering for FHE operation {name!r}"
+            ) from None
 
     # ------------------------------------------------------------------
-    # Bundles (paper Table I rows)
+    # IR lowering (traces and Table-I bundle rows)
     # ------------------------------------------------------------------
+
+    def lower(self, trace, level=None):
+        """Lower an :class:`~repro.ir.OpTrace` to :class:`OpComponents`.
+
+        ``level`` binds trace entries whose level is unbound (``None``);
+        entries carrying their own level are priced at it.  Iteration
+        follows the IR's canonical op order, which reproduces the legacy
+        ``bundle()`` if-chain summation order exactly (float addition is
+        order-sensitive, and cached baselines depend on the old bytes).
+        """
+        trace = as_trace(trace)
+        total = OpComponents()
+        for (op, lvl), count in trace.items():
+            if not count:
+                continue
+            effective = lvl if lvl is not None else level
+            if effective is None:
+                raise ValueError(
+                    f"trace entry {op.value!r} has no level and no default "
+                    "was given"
+                )
+            total = total + self.op(op, effective).scaled(count)
+        return total
 
     def bundle(self, bundle: OpBundle, level):
-        """Components of one parallel unit described by ``bundle``."""
-        total = OpComponents()
-        if bundle.rotation:
-            total = total + self.rotation(level).scaled(bundle.rotation)
-        if bundle.cmult:
-            total = total + self.cmult(level).scaled(bundle.cmult)
-        if bundle.pmult:
-            total = total + self.pmult(level).scaled(bundle.pmult)
-        if bundle.hadd:
-            total = total + self.hadd(level).scaled(bundle.hadd)
-        if bundle.rescale:
-            total = total + self.rescale(level).scaled(bundle.rescale)
-        return total
+        """Components of one parallel unit described by ``bundle``.
+
+        Thin wrapper over :meth:`lower` kept for the Table-I call sites.
+        """
+        return self.lower(bundle, level)
 
     def bundle_time(self, bundle: OpBundle, level):
         return self.bundle(bundle, level).seconds

@@ -55,6 +55,16 @@ class OpBundle:
         return (self.rotation + self.cmult + self.pmult + self.hadd
                 + self.rescale)
 
+    def trace(self, level=None):
+        """This bundle as an :class:`repro.ir.OpTrace`.
+
+        ``OpBundle`` remains the thin Table-I row constructor; the trace
+        is the currency the cost model lowers and the simulator carries.
+        """
+        from repro.ir import OpTrace
+
+        return OpTrace.from_bundle(self, level=level)
+
 
 #: Table I, ConvBN row: 8 Rotations, 2 PMults, 7 HAdds per kernel unit.
 CONVBN_UNIT = OpBundle(rotation=8, pmult=2, hadd=7)

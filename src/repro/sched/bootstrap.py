@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.ir import FheOp, OpTrace
 from repro.sched.fc import map_bsgs_matvec
 from repro.sched.nonlinear import map_polynomial_tree
 
@@ -243,9 +244,13 @@ def map_bootstrap(
             builder.compute(node, 0.0, tag=tag, needs_recv=True)
 
     # --- DAF (Modulus Reduction, part 2): replicated local squarings ----
+    daf_level = max(0, level)
+    daf_ops = OpTrace.single(FheOp.CMULT, DAF_ITERATIONS * work_scale,
+                             level=daf_level)
     for node in nodes:
-        daf = cost.cmult(max(0, level)).scaled(DAF_ITERATIONS * work_scale)
-        builder.compute(node, daf.seconds, tag=tag, components=daf)
+        daf = cost.cmult(daf_level).scaled(DAF_ITERATIONS * work_scale)
+        builder.compute(node, daf.seconds, tag=tag, components=daf,
+                        ops=daf_ops)
     level -= DAF_ITERATIONS
 
     # --- SlotToCoeff -----------------------------------------------------

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import math
 
+from repro.ir import as_trace
+
 __all__ = ["map_distributed_units"]
 
 
@@ -43,7 +45,8 @@ def map_distributed_units(
     units:
         Total parallel units in the layer (paper Table I parallelism).
     unit_bundle:
-        FHE ops per unit (a Table I row).
+        FHE ops per unit: a Table I row (:class:`repro.cost.OpBundle`)
+        or an :class:`repro.ir.OpTrace`.
     level:
         Ciphertext level the layer executes at.
     output_ciphertexts:
@@ -61,7 +64,9 @@ def map_distributed_units(
     n = builder.num_nodes
     if units < 1:
         raise ValueError("layer must have at least one unit")
-    unit_components = cost.bundle(unit_bundle, level).scaled(work_scale)
+    unit_trace = as_trace(unit_bundle).at_level(level)
+    unit_components = cost.lower(unit_trace).scaled(work_scale)
+    unit_ops = unit_trace.scaled(work_scale)
     unit_time = unit_components.seconds
     ct_bytes = cost.ciphertext_bytes(level)
     base = units // n
@@ -89,6 +94,7 @@ def map_distributed_units(
                 chunks[node][r] * unit_time,
                 tag=tag,
                 components=unit_components.scaled(chunks[node][r]),
+                ops=unit_ops.scaled(chunks[node][r]),
             ))
 
     # Emit broadcasts round-major (the Fig. 2 interleaving): within each

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import math
 
+from repro.ir import FheOp, OpTrace
+
 __all__ = ["map_bsgs_matvec"]
 
 
@@ -52,21 +54,35 @@ def map_bsgs_matvec(
 
     # Baby steps, replicated on every card of the group.
     bs_components = rot.scaled(bs * work_scale)
+    bs_ops = OpTrace.single(FheOp.ROTATION, bs * work_scale, level=level)
     # Giant steps: each is bs PMults + (bs-1) HAdds + one rotation (Eq. 1).
     gs_step = (
         pmult.scaled(bs) + hadd.scaled(max(0, bs - 1)) + rot
     ).scaled(work_scale)
+    gs_step_ops = OpTrace(
+        [(key, count) for key, count in
+         (((FheOp.PMULT, level), bs),
+          ((FheOp.HADD, level), max(0, bs - 1)),
+          ((FheOp.ROTATION, level), 1))
+         if count]
+    ).scaled(work_scale)
     # Local accumulation of this card's gs_s partial results.
     local_acc = hadd.scaled(max(0, gs_s - 1) * work_scale)
+    local_acc_ops = OpTrace.single(
+        FheOp.HADD, max(0, gs_s - 1) * work_scale, level=level
+    )
+    merge_ops = OpTrace.single(FheOp.HADD, work_scale, level=level)
 
     last_idx = {}
     for node in nodes:
         builder.compute(node, bs_components.seconds, tag=tag,
-                        components=bs_components)
+                        components=bs_components, ops=bs_ops)
         builder.compute(node, gs_step.seconds * gs_s, tag=tag,
-                        components=gs_step.scaled(gs_s))
+                        components=gs_step.scaled(gs_s),
+                        ops=gs_step_ops.scaled(gs_s))
         last_idx[node] = builder.compute(
-            node, local_acc.seconds, tag=tag, components=local_acc
+            node, local_acc.seconds, tag=tag, components=local_acc,
+            ops=local_acc_ops,
         )
 
     # Tree aggregation: upper half sends to lower half, receivers HAdd.
@@ -81,7 +97,7 @@ def map_bsgs_matvec(
             merged = hadd.scaled(work_scale)
             last_idx[dst] = builder.compute(
                 dst, merged.seconds, tag=tag, needs_recv=True,
-                components=merged,
+                components=merged, ops=merge_ops,
             )
         active = active[:half]
 

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import math
 
+from repro.ir import FheOp, OpTrace
+
 __all__ = ["map_polynomial_tree", "polynomial_tree_depth"]
 
 
@@ -58,13 +60,23 @@ def map_polynomial_tree(
     hadd = cost.hadd(level).scaled(work_scale)
     ct_bytes = cost.ciphertext_bytes(level)
 
+    def ops_of(cmults=0, pmults=0, hadds=0):
+        entries = [((FheOp.CMULT, level), cmults),
+                   ((FheOp.PMULT, level), pmults),
+                   ((FheOp.HADD, level), hadds)]
+        return OpTrace(
+            [(key, count) for key, count in entries if count]
+        ).scaled(work_scale)
+
     if card_num == 1:
         # Single-card evaluation: the whole tree runs locally.
         root = nodes[0]
         mults = max(1, degree - 1)
         comps = cmult.scaled(mults) + pmult.scaled(degree) + hadd.scaled(degree)
         return builder.compute(root, comps.seconds, tag=tag,
-                               components=comps)
+                               components=comps,
+                               ops=ops_of(cmults=mults, pmults=degree,
+                                          hadds=degree))
 
     last_idx = {}
     pending_recvs = {node: 0 for node in active}
@@ -72,7 +84,8 @@ def map_polynomial_tree(
     # Phase 1: x^2 everywhere, then the shrinking power chain.
     for node in active:
         last_idx[node] = builder.compute(node, cmult.seconds, tag=tag,
-                                         components=cmult)
+                                         components=cmult,
+                                         ops=ops_of(cmults=1))
     for j in range(1, poly_depth - 1):
         alive = 2 ** (tree_depth - j)
         if alive < 1:
@@ -80,7 +93,8 @@ def map_polynomial_tree(
         for i in range(alive):
             node = active[i]
             last_idx[node] = builder.compute(node, cmult.seconds, tag=tag,
-                                             components=cmult)
+                                             components=cmult,
+                                             ops=ops_of(cmults=1))
             partner_pos = i + alive
             if partner_pos < card_num:
                 partner = active[partner_pos]
@@ -95,7 +109,8 @@ def map_polynomial_tree(
         # Consume any power ciphertexts received in phase 1 before the
         # fold that needs them.
         first_fold = True
-        builder.compute(node, shared.seconds, tag=tag, components=shared)
+        builder.compute(node, shared.seconds, tag=tag, components=shared,
+                        ops=ops_of(pmults=2 ** (k + 1), hadds=2 ** (k + 1)))
         for j in range(k + 1):
             fold = (cmult + hadd).scaled(2 ** (k - j))
             needs = pending_recvs[node] > 0 and first_fold
@@ -105,6 +120,7 @@ def map_polynomial_tree(
             last_idx[node] = builder.compute(
                 node, fold.seconds, tag=tag, needs_recv=needs,
                 components=fold,
+                ops=ops_of(cmults=2 ** (k - j), hadds=2 ** (k - j)),
             )
         while pending_recvs[node] > 0:
             # Drain any remaining received powers into the fold chain.
@@ -112,6 +128,7 @@ def map_polynomial_tree(
             last_idx[node] = builder.compute(
                 node, (cmult + hadd).seconds, tag=tag, needs_recv=True,
                 components=cmult + hadd,
+                ops=ops_of(cmults=1, hadds=1),
             )
 
     # Phase 3: tree aggregation to card 0 (multiply_and_send /
@@ -123,10 +140,11 @@ def map_polynomial_tree(
             dst = active[i]
             src = active[i + alive]
             send_prep = builder.compute(src, cmult.seconds, tag=tag,
-                                        components=cmult)
+                                        components=cmult,
+                                        ops=ops_of(cmults=1))
             builder.transfer(src, dst, ct_bytes, after=send_prep, tag=tag)
             last_idx[dst] = builder.compute(
                 dst, hadd.seconds, tag=tag, needs_recv=True,
-                components=hadd,
+                components=hadd, ops=ops_of(hadds=1),
             )
     return last_idx[active[0]]

@@ -40,12 +40,14 @@ from repro.sim.result import SimResult
 
 __all__ = ["Planner", "ModelRunResult"]
 
-_UNIT_BUNDLES = {
-    "convbn": CONVBN_UNIT,
-    "pooling": POOLING_UNIT,
-    "fc": FC_UNIT,
-    "pcmm": PCMM_UNIT,
-    "ccmm": CCMM_UNIT,
+# Table-I rows as level-unbound IR traces; map_step binds the step's
+# level when it hands them to the unit mapper.
+_UNIT_TRACES = {
+    "convbn": CONVBN_UNIT.trace(),
+    "pooling": POOLING_UNIT.trace(),
+    "fc": FC_UNIT.trace(),
+    "pcmm": PCMM_UNIT.trace(),
+    "ccmm": CCMM_UNIT.trace(),
 }
 
 
@@ -213,10 +215,6 @@ class Planner:
                    cards=builder.num_nodes):
             self._map_step_inner(step, builder, scale)
 
-    # Backwards-compatible alias (pre-observability private name).
-    def _map_step(self, step, builder, scale):
-        self.map_step(step, builder, scale)
-
     def _map_step_inner(self, step, builder, scale):
         # The packing calibration (work_scale) only applies to
         # unit-parallel steps: their Table-I unit counts abstract over the
@@ -228,7 +226,7 @@ class Planner:
                 builder,
                 self.cost,
                 units=step.units,
-                unit_bundle=_UNIT_BUNDLES[step.kind],
+                unit_bundle=_UNIT_TRACES[step.kind],
                 level=step.level,
                 output_ciphertexts=step.output_ciphertexts,
                 tag=step.procedure,

@@ -88,6 +88,7 @@ class Simulator:
         self._ready_consumed = {}
         self._result = SimResult(nodes=[s.stats for s in self._nodes])
         self._components = None
+        self._node_ops = [None] * n
         self._last_time = 0.0
 
         for node in range(n):
@@ -101,6 +102,8 @@ class Simulator:
         result = self._result
         result.makespan = self._makespan()
         result.components_total = self._components
+        if any(t is not None for t in self._node_ops):
+            result.node_ops = list(self._node_ops)
         for node, st in enumerate(self._nodes):
             st.stats.compute_done_at = st.comp_busy_until
             st.stats.comm_done_at = st.comm_busy_until
@@ -142,7 +145,7 @@ class Simulator:
             end = now + task.duration
             st.stats.compute_busy += task.duration
             st.stats.tasks_executed += 1
-            self._account_compute(task)
+            self._account_compute(node, task)
             if self.trace_enabled and task.duration > 0:
                 self._result.trace.append(TraceEvent(
                     node=node, kind="compute", tag=task.tag,
@@ -161,7 +164,7 @@ class Simulator:
             self._schedule(end, self._advance_comm, node)
             now = end
 
-    def _account_compute(self, task):
+    def _account_compute(self, node, task):
         tags = self._result.tag_compute
         tags[task.tag] = tags.get(task.tag, 0.0) + task.duration
         if task.components is not None:
@@ -169,6 +172,15 @@ class Simulator:
                 self._components = task.components
             else:
                 self._components = self._components + task.components
+        if task.ops is not None:
+            # Lazy per-node accumulators, updated in place: the hot loop
+            # must not churn trace objects per task.
+            acc = self._node_ops[node]
+            if acc is None:
+                from repro.ir import OpTrace
+
+                acc = self._node_ops[node] = OpTrace()
+            acc.update(task.ops)
 
     # ------------------------------------------------------------------
     # Communication engine

@@ -11,6 +11,11 @@ send/receive pairs and compute tasks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cost.model import OpComponents
+    from repro.ir import OpTrace
 
 __all__ = [
     "BROADCAST",
@@ -33,13 +38,16 @@ class ComputeTask:
     ``needs_recv`` marks the task as data-dependent (``CT_d``): it waits
     for the next unconsumed receive-completion signal before executing.
     ``components`` optionally carries the per-CU time/traffic breakdown for
-    energy accounting.
+    energy accounting; ``ops`` optionally carries the modeled
+    :class:`~repro.ir.OpTrace` the task's duration was lowered from, so
+    the simulator can report per-card FHE-op histograms.
     """
 
     duration: float
     tag: str = "compute"
     needs_recv: bool = False
-    components: object = None
+    components: Optional["OpComponents"] = None
+    ops: Optional["OpTrace"] = None
 
     def __post_init__(self):
         if self.duration < 0:
@@ -55,8 +63,12 @@ class SendTask:
 
     dst: object
     size: float
-    after_compute: int = None
+    after_compute: Optional[int] = None
     tag: str = "comm"
+
+    def __post_init__(self):
+        if self.size < 0:
+            raise ValueError(f"negative send size {self.size}")
 
 
 @dataclass(frozen=True)
@@ -101,13 +113,13 @@ class ProgramBuilder:
     # ------------------------------------------------------------------
 
     def compute(self, node, duration, tag="compute", needs_recv=False,
-                components=None):
+                components=None, ops=None):
         """Append a compute task; returns its queue index (for SAC links)."""
         self._check_node(node)
         queue = self.programs[node].compute
         queue.append(ComputeTask(duration=duration, tag=tag,
                                  needs_recv=needs_recv,
-                                 components=components))
+                                 components=components, ops=ops))
         return len(queue) - 1
 
     def transfer(self, src, dst, size, after=None, tag="comm"):

@@ -91,6 +91,9 @@ class SimResult:
     transfers: int = 0
     #: accumulated OpComponents for energy accounting (may be None)
     components_total: object = None
+    #: per-card accumulated OpTrace (entry may be None for idle cards);
+    #: empty list when no task carried an op trace
+    node_ops: list = field(default_factory=list)
     #: recorded TraceEvents (only when the simulator ran with trace=True)
     trace: list = field(default_factory=list)
 
@@ -119,6 +122,20 @@ class SimResult:
         if self.makespan <= 0:
             return 0.0
         return max(0.0, 1.0 - self.mean_compute_busy / self.makespan)
+
+    def total_ops(self):
+        """All cards' op traces summed into one :class:`~repro.ir.OpTrace`.
+
+        Returns None when no simulated task carried an op trace (pre-IR
+        cache blobs, hand-built programs).
+        """
+        present = [t for t in self.node_ops if t is not None]
+        if not present:
+            return None
+        total = present[0].scaled(1)
+        for t in present[1:]:
+            total.update(t)
+        return total
 
     def merge_sequential(self, other):
         """Append a later step executed after a barrier (Procedure 2)."""
@@ -149,6 +166,16 @@ class SimResult:
                 self.components_total = (
                     self.components_total + other.components_total
                 )
+        if other.node_ops:
+            if not self.node_ops:
+                self.node_ops = [None] * len(self.nodes)
+            for i, theirs in enumerate(other.node_ops):
+                if theirs is None:
+                    continue
+                if self.node_ops[i] is None:
+                    self.node_ops[i] = theirs.scaled(1)  # private copy
+                else:
+                    self.node_ops[i].update(theirs)
         return self
 
     def to_dict(self):
@@ -163,14 +190,23 @@ class SimResult:
             "components_total": (
                 None if components is None else components.to_dict()
             ),
+            "node_ops": [
+                None if t is None else t.to_dict() for t in self.node_ops
+            ],
             "trace": [ev.to_dict() for ev in self.trace],
         }
 
     @classmethod
     def from_dict(cls, data):
         from repro.cost.model import OpComponents
+        from repro.ir import OpTrace
 
         components = data.get("components_total")
+        # .get with a default keeps pre-IR cache blobs loading unchanged.
+        node_ops = [
+            None if t is None else OpTrace.from_dict(t)
+            for t in data.get("node_ops", [])
+        ]
         return cls(
             makespan=data["makespan"],
             nodes=[NodeStats.from_dict(n) for n in data["nodes"]],
@@ -182,5 +218,6 @@ class SimResult:
                 None if components is None
                 else OpComponents.from_dict(components)
             ),
+            node_ops=node_ops,
             trace=[TraceEvent.from_dict(ev) for ev in data.get("trace", [])],
         )

@@ -15,7 +15,8 @@ class TestRunCache:
     def test_clear_run_cache(self):
         sys_m = HydraSystem.hydra_s()
         first = sys_m.run("resnet18", with_energy=False)
-        clear_run_cache()
+        with pytest.deprecated_call():
+            clear_run_cache()
         second = sys_m.run("resnet18", with_energy=False)
         assert second is not first
         assert second.total_seconds == pytest.approx(first.total_seconds)

@@ -12,19 +12,21 @@ from repro.core import HydraSystem, run_benchmark
 
 @pytest.fixture(scope="module")
 def r18():
-    return {
-        name: run_benchmark("resnet18", name)
-        for name in ("Hydra-S", "Hydra-M", "Hydra-L", "FAB-S", "FAB-M",
-                     "Poseidon")
-    }
+    with pytest.deprecated_call():
+        return {
+            name: run_benchmark("resnet18", name)
+            for name in ("Hydra-S", "Hydra-M", "Hydra-L", "FAB-S", "FAB-M",
+                         "Poseidon")
+        }
 
 
 @pytest.fixture(scope="module")
 def bert():
-    return {
-        name: run_benchmark("bert_base", name)
-        for name in ("Hydra-S", "Hydra-M", "Hydra-L", "FAB-M")
-    }
+    with pytest.deprecated_call():
+        return {
+            name: run_benchmark("bert_base", name)
+            for name in ("Hydra-S", "Hydra-M", "Hydra-L", "FAB-M")
+        }
 
 
 class TestSingleCardAnchors:
@@ -80,7 +82,8 @@ class TestCommunicationOverhead:
                 > r18["Hydra-M"].comm_overhead_fraction)
 
     def test_opt_comm_overhead_tiny_on_hydra_m(self):
-        r = run_benchmark("opt_6_7b", "Hydra-M")
+        with pytest.deprecated_call():
+            r = run_benchmark("opt_6_7b", "Hydra-M")
         # Paper: 0.04% on Hydra-M; allow up to 2%.
         assert r.comm_overhead_fraction < 0.02
 
@@ -123,7 +126,8 @@ class TestSystemFacade:
             HydraSystem.hydra_s().run("alexnet")
 
     def test_run_cache(self, r18):
-        again = run_benchmark("resnet18", "Hydra-S")
+        with pytest.deprecated_call():
+            again = run_benchmark("resnet18", "Hydra-S")
         assert again is r18["Hydra-S"]
 
     def test_procedure_spans_sum_to_total(self, r18):
