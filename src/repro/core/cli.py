@@ -46,6 +46,16 @@ Commands
     writes the machine-readable diff report (the CI artifact) and
     ``--perturb OP`` deliberately breaks one modeled count to prove the
     gate fails loudly.
+``serve SCENARIO [--duration S] [--seed N] [--fleet NAME] [--dispatch M]
+[--policy P] [--jobs N] [--json] [--out FILE] [--validate] [--list]``
+    Multi-tenant serving simulation (see :mod:`repro.serve`): seeded
+    open-loop arrivals per tenant, a bounded admission queue with the
+    scenario's policy, batch coalescing, and fleet dispatch with
+    pipelined cluster occupancy.  Emits the deterministic
+    ``repro.serve/v1`` SLO report (per-tenant p50/p95/p99, queue depth,
+    rejections, per-cluster utilization, goodput); ``--validate``
+    additionally checks the report against the checked-in schema.
+    ``SCENARIO`` is a JSON file path or a builtin name (``--list``).
 """
 
 from __future__ import annotations
@@ -176,6 +186,36 @@ def build_parser():
                             help="print the diff report as JSON")
     validate_p.add_argument("--out", default=None,
                             help="also write the JSON diff report to FILE")
+
+    serve_p = sub.add_parser(
+        "serve", help="multi-tenant serving simulation + SLO report")
+    serve_p.add_argument("scenario", nargs="?", default=None,
+                         help="scenario JSON file or builtin name "
+                              "(see --list)")
+    serve_p.add_argument("--list", action="store_true",
+                         help="list builtin scenarios and exit")
+    serve_p.add_argument("--duration", type=float, default=None,
+                         help="override the scenario's arrival window (s)")
+    serve_p.add_argument("--seed", type=int, default=None,
+                         help="override the scenario's RNG seed")
+    serve_p.add_argument("--fleet", default=None,
+                         help="simulate only this fleet")
+    serve_p.add_argument("--dispatch", default=None,
+                         choices=["pipelined", "serialized"],
+                         help="override the cluster occupancy mode")
+    serve_p.add_argument("--policy", default=None,
+                         choices=["fifo", "fair", "edf"],
+                         help="override the queueing policy")
+    serve_p.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for service-profile "
+                              "planning (cache misses)")
+    serve_p.add_argument("--json", action="store_true",
+                         help="emit the repro.serve/v1 report as JSON")
+    serve_p.add_argument("--out", default=None,
+                         help="write output to FILE instead of stdout")
+    serve_p.add_argument("--validate", action="store_true",
+                         help="check the report against the checked-in "
+                              "schema (nonzero exit on violation)")
     return parser
 
 
@@ -308,7 +348,13 @@ def _cmd_dft(args, out):
     return 0
 
 
-def _write_or_print(text, path, out):
+def _emit(text, out, path=None):
+    """The one ``--out``-aware writer shared by every subcommand.
+
+    Prints ``text`` through ``out`` when ``path`` is None; otherwise
+    writes it to ``path`` (newline-terminated) and prints a one-line
+    confirmation.
+    """
     if path is None:
         out(text)
         return
@@ -317,6 +363,13 @@ def _write_or_print(text, path, out):
         if not text.endswith("\n"):
             fh.write("\n")
     out(f"wrote {path}")
+
+
+def _emit_json(payload, out, path=None, indent=2):
+    """Emit ``payload`` as canonical (sorted-key) JSON via :func:`_emit`."""
+    import json as _json
+
+    _emit(_json.dumps(payload, indent=indent, sort_keys=True), out, path)
 
 
 def _cmd_trace(args, out):
@@ -356,7 +409,7 @@ def _cmd_trace(args, out):
     if args.format == "chrome":
         doc = chrome_trace(sim_trace=result.trace, spans=recorder.spans)
         validate_chrome_trace(doc)
-        _write_or_print(_json.dumps(doc, sort_keys=True), args.out, out)
+        _emit_json(doc, out, args.out, indent=None)
         return 0
     if args.format == "summary":
         payload = {
@@ -368,15 +421,14 @@ def _cmd_trace(args, out):
             "overlap": overlap_report(
                 result.trace, makespan=result.makespan).to_dict(),
         }
-        _write_or_print(_json.dumps(payload, indent=2, sort_keys=True),
-                        args.out, out)
+        _emit_json(payload, out, args.out)
         return 0
     text = "\n".join([
         f"step {step.name!r} ({step.procedure}) on {args.system}: "
         f"{result.makespan * 1e3:.2f} ms",
         render_gantt(result.trace, makespan=result.makespan),
     ])
-    _write_or_print(text, args.out, out)
+    _emit(text, out, args.out)
     return 0
 
 
@@ -466,8 +518,8 @@ def _cmd_perf(args, out):
         compare_reports,
         load_report,
         run_suite,
-        save_report,
         suite_names,
+        validate_report,
     )
     from repro.perf.workloads import SUITE
 
@@ -485,11 +537,8 @@ def _cmd_perf(args, out):
         except KeyError as exc:
             out(f"error: {exc.args[0]}")
             return 2
-        if args.out:
-            save_report(report, args.out)
-            out(f"wrote {args.out}")
-        else:
-            out(_json.dumps(report, indent=2, sort_keys=True))
+        validate_report(report)
+        _emit_json(report, out, args.out)
         return 0
 
     # compare
@@ -505,22 +554,60 @@ def _cmd_perf(args, out):
 
 
 def _cmd_validate_ops(args, out):
-    import json as _json
-
     from repro.ir.validate import run_validation
 
     report = run_validation(tiny=args.tiny, perturb=args.perturb)
     if args.json:
-        out(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        _emit_json(report.to_dict(), out)
     else:
         out(report.render())
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as fh:
-            fh.write(_json.dumps(report.to_dict(), indent=2,
-                                 sort_keys=True))
-            fh.write("\n")
-        out(f"wrote {args.out}")
+        _emit_json(report.to_dict(), out, args.out)
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args, out):
+    from repro.serve import (
+        builtin_scenarios,
+        render_report,
+        run_scenario,
+        validate_serve_report,
+    )
+
+    if args.list:
+        from repro.serve import load_scenario
+
+        for name in builtin_scenarios():
+            scenario = load_scenario(name)
+            tenants = ", ".join(t.name for t in scenario.tenants)
+            out(f"{name:22s} fleets={len(scenario.fleets)} "
+                f"policy={scenario.policy} tenants=[{tenants}]")
+        return 0
+    if args.scenario is None:
+        out("error: a scenario name/path is required (or use --list)")
+        return 2
+    try:
+        report, manifest = run_scenario(
+            args.scenario, seed=args.seed, duration=args.duration,
+            dispatch=args.dispatch, policy=args.policy, fleet=args.fleet,
+            jobs=args.jobs)
+    except (OSError, ValueError, KeyError) as exc:
+        out(f"error: {exc}")
+        return 2
+    if args.validate:
+        try:
+            validate_serve_report(report)
+        except ValueError as exc:
+            out(f"schema validation failed: {exc}")
+            return 1
+    if args.json or args.out:
+        _emit_json(report, out, args.out)
+    else:
+        out(render_report(report))
+    if not args.json or args.out:
+        # Keep stdout parseable when the JSON report goes to stdout.
+        out(f"planning: {manifest.summary()}")
+    return 0
 
 
 _COMMANDS = {
@@ -535,6 +622,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "perf": _cmd_perf,
     "validate-ops": _cmd_validate_ops,
+    "serve": _cmd_serve,
 }
 
 

@@ -6,8 +6,9 @@ bit-identical inputs) and a ``run`` callable that executes exactly one
 operation of the kernel under test.  The suite covers the CKKS hot paths
 that dominate every paper experiment — the same kernels Hydra accelerates
 in hardware (Section IV): NTT, RNS limb arithmetic, keyswitching and
-rotation, BSGS linear transforms, one bootstrapping stage, and one
-end-to-end scheduled simulation step of ``Hydra-S resnet18``.
+rotation, BSGS linear transforms, one bootstrapping stage, one
+end-to-end scheduled simulation step of ``Hydra-S resnet18``, and the
+:mod:`repro.serve` discrete-event serving loop.
 
 The registry is **pinned**: renaming or dropping a workload breaks
 comparability of stored baselines, so ``repro perf compare`` treats a
@@ -290,6 +291,36 @@ def _make_sim_workload():
 
 
 # ----------------------------------------------------------------------
+# Serving-layer discrete-event simulation (repro.serve)
+# ----------------------------------------------------------------------
+
+def _serve_state(_seed):
+    from repro.serve import load_scenario, prepare_profiles
+
+    # One hour of simulated arrivals gives the event loop thousands of
+    # heap operations per run; service profiles are planned once here so
+    # the measured region is the DES alone.
+    scenario = load_scenario("steady_hydra_m").override(duration=3600.0)
+    profiles, _ = prepare_profiles(scenario, use_cache=False)
+    return {"scenario": scenario, "profiles": profiles}
+
+
+def _run_serve(state):
+    from repro.serve import simulate_fleet
+
+    return simulate_fleet(state["scenario"], "hydra-m", state["profiles"])
+
+
+def _make_serve_workload():
+    return PerfWorkload(
+        name="serve.steady.hydra_m",
+        description="serving DES, steady_hydra_m scenario, 1 h horizon",
+        setup=_serve_state,
+        run=_run_serve,
+    )
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 
@@ -301,6 +332,7 @@ def _build_suite():
     workloads.append(_make_bsgs_workload())
     workloads.append(_make_bootstrap_workload())
     workloads.append(_make_sim_workload())
+    workloads.append(_make_serve_workload())
     return {w.name: w for w in workloads}
 
 

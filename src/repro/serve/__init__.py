@@ -1,0 +1,80 @@
+"""Multi-tenant FHE inference *serving* simulation (``repro serve``).
+
+The paper's headline numbers — Table V throughput, Figure 9 scalability,
+and the Procedure-2 multi-server schedule — are all about *sustained*
+ciphertext inference, not one cold end-to-end run.  This package layers a
+discrete-event serving simulation above :mod:`repro.sim`, in the same
+simulated clock domain:
+
+* :mod:`repro.serve.scenario` — declarative scenario files: tenants
+  (each bound to a model + CKKS parameter set + a seeded arrival
+  process), fleets of simulated clusters, queueing/batching knobs;
+* :mod:`repro.serve.arrivals` — deterministic open-loop request
+  generators (Poisson or fixed-spacing, seeded per tenant);
+* :mod:`repro.serve.queueing` — the admission front-end: bounded queues
+  with explicit rejection and pluggable ordering policies (FIFO,
+  per-tenant fair share, earliest-deadline-first);
+* :mod:`repro.serve.dispatch` — service profiles (planned once per
+  (model, params, cluster) through the :mod:`repro.runtime` cache) and
+  the fleet dispatcher that extends the Procedure-2 contract across
+  clusters with *pipelined occupancy*: a cluster stages the next batch
+  in while the previous one computes or drains;
+* :mod:`repro.serve.engine` — the event loop tying it together, plus
+  :func:`run_scenario`, the one-call entry point behind the CLI;
+* :mod:`repro.serve.report` — the deterministic SLO report (per-tenant
+  p50/p95/p99 latency, queue depth over time, rejection rate,
+  per-cluster utilization via :func:`repro.obs.overlap_report`,
+  goodput);
+* :mod:`repro.serve.schema` — the ``repro.serve/v1`` report schema and
+  a dependency-free validator (the CI gate).
+
+Everything is bit-deterministic for a given scenario + seed: the same
+invocation produces byte-identical JSON whether service profiles are
+planned serially, fanned out over ``--jobs N`` workers, or served from
+the persistent disk cache of a previous process.
+"""
+
+from repro.serve.arrivals import generate_arrivals
+from repro.serve.dispatch import ClusterState, ServiceProfile
+from repro.serve.engine import prepare_profiles, run_scenario, simulate_fleet
+from repro.serve.queueing import (
+    POLICIES,
+    AdmissionQueue,
+    Request,
+    make_policy,
+)
+from repro.serve.report import percentile, render_report
+from repro.serve.scenario import (
+    BatchConfig,
+    Overheads,
+    Scenario,
+    TenantSpec,
+    builtin_scenarios,
+    load_scenario,
+    resolve_fleet_cluster,
+)
+from repro.serve.schema import REPORT_SCHEMA_PATH, validate_serve_report
+
+__all__ = [
+    "POLICIES",
+    "REPORT_SCHEMA_PATH",
+    "AdmissionQueue",
+    "BatchConfig",
+    "ClusterState",
+    "Overheads",
+    "Request",
+    "Scenario",
+    "ServiceProfile",
+    "TenantSpec",
+    "builtin_scenarios",
+    "generate_arrivals",
+    "load_scenario",
+    "make_policy",
+    "percentile",
+    "prepare_profiles",
+    "render_report",
+    "resolve_fleet_cluster",
+    "run_scenario",
+    "simulate_fleet",
+    "validate_serve_report",
+]

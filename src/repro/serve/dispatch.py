@@ -1,0 +1,153 @@
+"""Service profiles and the fleet dispatcher's cluster occupancy model.
+
+**Service profiles.** A batch's compute time on a cluster is the
+Procedure-2 makespan of one full planned model inference — the same
+plan-and-simulate path as ``repro run`` — obtained once per
+(model, params, cluster) through :mod:`repro.runtime` and its persistent
+cache, never re-planned per request.  Within a batch, compatible
+requests share the planned program through slot packing, so batch
+compute scales as ``base * (1 + f * (B - 1))`` with ``f`` the scenario's
+``compute_per_extra_request`` (0 = perfect amortization up to the cap).
+
+**Pipelined occupancy.** Procedure 2 overlaps communication under
+computation *inside* a step via the handshake; the fleet dispatcher
+extends the same idea one level up.  Each cluster exposes two resources
+— a host I/O path (batch staging: setup + input/output ciphertext
+transfers over PCIe) and the compute pipeline (the planned program
+itself).  In ``pipelined`` mode a cluster accepts the next batch while
+the previous one computes or drains: batch *k+1*'s ingress overlaps
+batch *k*'s compute, bounded by two batches in flight.  In
+``serialized`` mode the whole batch (ingress + compute + egress)
+occupies the cluster exclusively — the naive generalization of
+Procedure 2's per-step barrier to the fleet, kept as the comparison
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["BatchSchedule", "ClusterState", "ServiceProfile"]
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """Per-(model, params, cluster) service costs for one batch."""
+
+    model: str
+    params: str
+    cluster_name: str
+    #: Procedure-2 makespan of one planned inference (simulated seconds)
+    compute_seconds: float
+    #: size of one staged ciphertext under the tenant's parameter preset
+    ciphertext_bytes: float
+    #: host link bandwidth used for staging (bytes/s)
+    io_bandwidth: float
+    #: True when the profile was served from the runtime result cache
+    cache_hit: bool = False
+
+    def batch_times(self, size, cts_in, cts_out, overheads):
+        """``(t_in, t_compute, t_out)`` for one batch.
+
+        ``size`` is the number of coalesced requests; ``cts_in`` /
+        ``cts_out`` are the batch's *total* staged ciphertext counts
+        (requests of different tenants may carry different counts even
+        under the same batch key).
+        """
+        t_in = (overheads.batch_setup_seconds
+                + cts_in * self.ciphertext_bytes / self.io_bandwidth)
+        t_compute = self.compute_seconds * (
+            1.0 + overheads.compute_per_extra_request * (size - 1)
+        )
+        t_out = cts_out * self.ciphertext_bytes / self.io_bandwidth
+        return t_in, t_compute, t_out
+
+
+@dataclass(frozen=True)
+class BatchSchedule:
+    """Resolved phase times of one dispatched batch on one cluster."""
+
+    ingress_start: float
+    ingress_end: float
+    compute_start: float
+    compute_end: float
+    egress_start: float
+    egress_end: float
+
+    @property
+    def completion(self):
+        return self.egress_end
+
+
+@dataclass
+class ClusterState:
+    """Occupancy bookkeeping for one fleet cluster replica."""
+
+    index: int
+    name: str  # fleet entry, e.g. "Hydra-M"
+    replica: int  # replica number among same-named entries
+    spec: object  # ClusterSpec
+    mode: str  # "pipelined" | "serialized"
+    #: host link is full duplex: ingress and egress directions are
+    #: independent resources, so batch k+1 can stage in while batch k
+    #: drains out
+    in_free_at: float = 0.0
+    out_free_at: float = 0.0
+    compute_free_at: float = 0.0
+    inflight: int = 0
+    batches: int = 0
+    requests: int = 0
+
+    @property
+    def label(self):
+        return f"{self.name}#{self.replica}"
+
+    @property
+    def inflight_limit(self):
+        """Pipelined clusters stage the next batch while one drains."""
+        return 2 if self.mode == "pipelined" else 1
+
+    @property
+    def has_free_slot(self):
+        return self.inflight < self.inflight_limit
+
+    def plan_batch(self, now, t_in, t_compute, t_out):
+        """Phase times a batch dispatched at ``now`` would get (pure)."""
+        if self.mode == "serialized":
+            # Exclusive occupancy: one resource serves ingress, compute
+            # and egress back to back.
+            start = max(now, self.compute_free_at)
+            return BatchSchedule(
+                ingress_start=start,
+                ingress_end=start + t_in,
+                compute_start=start + t_in,
+                compute_end=start + t_in + t_compute,
+                egress_start=start + t_in + t_compute,
+                egress_end=start + t_in + t_compute + t_out,
+            )
+        ingress_start = max(now, self.in_free_at)
+        ingress_end = ingress_start + t_in
+        compute_start = max(ingress_end, self.compute_free_at)
+        compute_end = compute_start + t_compute
+        egress_start = max(compute_end, self.out_free_at)
+        egress_end = egress_start + t_out
+        return BatchSchedule(
+            ingress_start=ingress_start,
+            ingress_end=ingress_end,
+            compute_start=compute_start,
+            compute_end=compute_end,
+            egress_start=egress_start,
+            egress_end=egress_end,
+        )
+
+    def commit_batch(self, schedule, size):
+        """Occupy the cluster's resources for a planned batch."""
+        if self.mode == "serialized":
+            self.compute_free_at = schedule.egress_end
+        else:
+            self.in_free_at = schedule.ingress_end
+            self.out_free_at = schedule.egress_end
+            self.compute_free_at = schedule.compute_end
+        self.inflight += 1
+        self.batches += 1
+        self.requests += size

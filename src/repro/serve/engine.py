@@ -1,0 +1,311 @@
+"""The serving event loop and the ``run_scenario`` entry point.
+
+The engine runs in the *simulated* clock domain of :mod:`repro.sim`:
+arrival times, queueing delays, batch phase times and completions are
+all simulated seconds, derived from Procedure-2 makespans of planned
+programs — wall-clock time never leaks into a report, which is what
+makes reports byte-identical across machines, worker counts, and cache
+hits.
+
+Event order is a strict total order — ``(time, priority, sequence)``
+with completions before arrivals before flush timers at equal
+timestamps and a deterministic sequence tie-break — so a scenario + seed
+fixes the entire execution trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.obs.metrics import MetricsRegistry, inc as _metric_inc, use_registry
+from repro.serve.arrivals import generate_arrivals
+from repro.serve.dispatch import ClusterState, ServiceProfile
+from repro.serve.queueing import AdmissionQueue, Request, make_policy
+from repro.serve.report import build_fleet_report, build_report
+from repro.serve.scenario import (
+    Scenario,
+    load_scenario,
+    params_preset,
+    resolve_fleet_cluster,
+)
+from repro.sim.result import TraceEvent
+
+__all__ = ["prepare_profiles", "run_scenario", "simulate_fleet"]
+
+# Same-timestamp event priorities: free cluster slots first, then admit
+# new arrivals, then fire batch-window flushes.
+_P_COMPLETE, _P_ARRIVAL, _P_FLUSH = 0, 1, 2
+
+
+def _ciphertext_bytes(params):
+    """Size of one (c0, c1) ciphertext under a parameter preset."""
+    if hasattr(params, "ciphertext_bytes"):
+        return float(params.ciphertext_bytes())
+    # Functional parameter sets: data limbs at the fresh level.
+    return float(2 * params.poly_degree * (params.num_scale_moduli + 1) * 8)
+
+
+def prepare_profiles(scenario, fleet_names=None, jobs=1, cache=None,
+                     use_cache=True):
+    """Plan service profiles for every (batch key, cluster) pair.
+
+    Distinct pairs become :class:`repro.runtime.RunRequest` instances
+    executed through :func:`repro.runtime.execute` — deduplicated,
+    fanned out over ``jobs`` workers, and served from the persistent
+    result cache on repeat invocations — so a million-request scenario
+    plans each model exactly once per cluster shape.
+
+    Returns ``(profiles, manifest)`` where ``profiles`` maps
+    ``(model, params_name, cluster_name) -> ServiceProfile``.
+    """
+    from repro.runtime import RunRequest, execute
+
+    fleet_names = list(scenario.fleets if fleet_names is None
+                       else fleet_names)
+    keys = []
+    requests = []
+    seen = set()
+    batch_keys = sorted({t.batch_key for t in scenario.tenants})
+    for fleet in fleet_names:
+        for entry in scenario.fleets[fleet]:
+            registry_name, spec = resolve_fleet_cluster(entry)
+            for model, params_name in batch_keys:
+                profile_key = (model, params_name, entry)
+                if profile_key in seen:
+                    continue
+                seen.add(profile_key)
+                params = params_preset(params_name)
+                run_params = None if params_name == "paper" else params
+                if registry_name is not None:
+                    request = RunRequest(benchmark=model,
+                                         system=registry_name,
+                                         with_energy=False,
+                                         params=run_params)
+                else:
+                    request = RunRequest(benchmark=model, cluster=spec,
+                                         with_energy=False,
+                                         params=run_params)
+                keys.append((profile_key, spec, params))
+                requests.append(request)
+    outcome = execute(requests, jobs=jobs, cache=cache,
+                      use_cache=use_cache)
+    profiles = {}
+    for (profile_key, spec, params), run_result in zip(keys, outcome):
+        model, params_name, entry = profile_key
+        profiles[profile_key] = ServiceProfile(
+            model=model,
+            params=params_name,
+            cluster_name=entry,
+            compute_seconds=run_result.result.total_seconds,
+            ciphertext_bytes=_ciphertext_bytes(params),
+            io_bandwidth=spec.card.pcie_bandwidth,
+            cache_hit=run_result.cache_hit,
+        )
+    return profiles, outcome.manifest
+
+
+class _TenantStats:
+    __slots__ = ("arrivals", "rejected", "latencies", "deadline_misses")
+
+    def __init__(self):
+        self.arrivals = 0
+        self.rejected = 0
+        self.latencies = []
+        self.deadline_misses = 0
+
+
+class _FleetEngine:
+    """One fleet's discrete-event serving simulation."""
+
+    def __init__(self, scenario, fleet_name, profiles):
+        self.scenario = scenario
+        self.fleet_name = fleet_name
+        self.profiles = profiles
+        self.tenants = {t.name: t for t in scenario.tenants}
+        self.queue = AdmissionQueue(policy=make_policy(scenario.policy),
+                                    max_queue=scenario.max_queue)
+        self.clusters = []
+        replica_counts = {}
+        for index, entry in enumerate(scenario.fleets[fleet_name]):
+            _, spec = resolve_fleet_cluster(entry)
+            replica = replica_counts.get(entry, 0)
+            replica_counts[entry] = replica + 1
+            self.clusters.append(ClusterState(
+                index=index, name=entry, replica=replica, spec=spec,
+                mode=scenario.dispatch,
+            ))
+        self.stats = {name: _TenantStats() for name in self.tenants}
+        self.trace = []
+        self.depth_series = [(0.0, 0)]
+        self.heap = []
+        self._seq = 0
+        self._batch_ids = 0
+        self.last_completion = 0.0
+
+    # -- event plumbing -------------------------------------------------
+
+    def _push(self, time, priority, handler, payload):
+        heapq.heappush(self.heap, (time, priority, self._seq, handler,
+                                   payload))
+        self._seq += 1
+
+    def _record_depth(self, now):
+        self.depth_series.append((now, len(self.queue)))
+
+    # -- setup ----------------------------------------------------------
+
+    def seed_arrivals(self):
+        arrivals = []
+        for order, tenant in enumerate(self.scenario.tenants):
+            for t in generate_arrivals(tenant, self.scenario.seed,
+                                       self.scenario.duration_seconds):
+                arrivals.append((t, order, tenant))
+        arrivals.sort(key=lambda item: (item[0], item[1]))
+        for request_id, (t, _order, tenant) in enumerate(arrivals):
+            deadline = (None if tenant.deadline_seconds is None
+                        else t + tenant.deadline_seconds)
+            request = Request(id=request_id, tenant=tenant.name,
+                              batch_key=tenant.batch_key, arrival=t,
+                              deadline=deadline)
+            self._push(t, _P_ARRIVAL, self._on_arrival, request)
+
+    # -- handlers -------------------------------------------------------
+
+    def _on_arrival(self, now, request):
+        stats = self.stats[request.tenant]
+        stats.arrivals += 1
+        _metric_inc("serve.arrivals", tenant=request.tenant)
+        if not self.queue.offer(request):
+            stats.rejected += 1
+            _metric_inc("serve.rejected", tenant=request.tenant)
+            return
+        self._record_depth(now)
+        if self.scenario.batch.window_seconds > 0:
+            self._push(now + self.scenario.batch.window_seconds,
+                       _P_FLUSH, self._on_flush, request.batch_key)
+        self._try_dispatch(now)
+
+    def _on_flush(self, now, _batch_key):
+        self._try_dispatch(now)
+
+    def _on_complete(self, now, payload):
+        cluster, batch = payload
+        cluster.inflight -= 1
+        for request in batch:
+            stats = self.stats[request.tenant]
+            stats.latencies.append(now - request.arrival)
+            _metric_inc("serve.completed", tenant=request.tenant)
+            if request.deadline is not None and now > request.deadline:
+                stats.deadline_misses += 1
+                _metric_inc("serve.deadline_miss", tenant=request.tenant)
+        self.last_completion = max(self.last_completion, now)
+        self._try_dispatch(now)
+
+    # -- dispatch -------------------------------------------------------
+
+    def _try_dispatch(self, now):
+        batch_cfg = self.scenario.batch
+        while True:
+            free = [c for c in self.clusters if c.has_free_slot]
+            if not free:
+                return
+            batch = self.queue.take_batch(now, batch_cfg.max_requests,
+                                          batch_cfg.window_seconds)
+            if batch is None:
+                return
+            self._record_depth(now)
+            model, params_name = batch[0].batch_key
+            cts_in = sum(self.tenants[r.tenant].ciphertexts_in
+                         for r in batch)
+            cts_out = sum(self.tenants[r.tenant].ciphertexts_out
+                          for r in batch)
+            plans = []
+            for cluster in free:
+                profile = self.profiles[(model, params_name, cluster.name)]
+                t_in, t_c, t_out = profile.batch_times(
+                    len(batch), cts_in, cts_out, self.scenario.overheads)
+                plans.append((cluster.plan_batch(now, t_in, t_c, t_out),
+                              cluster))
+            schedule, cluster = min(
+                plans, key=lambda pc: (pc[0].completion, pc[1].index))
+            cluster.commit_batch(schedule, len(batch))
+            _metric_inc("serve.batches", cluster=cluster.label)
+            _metric_inc("serve.batched_requests", len(batch),
+                        cluster=cluster.label)
+            step = f"batch-{self._batch_ids:05d}"
+            self._batch_ids += 1
+            if schedule.ingress_end > schedule.ingress_start:
+                self.trace.append(TraceEvent(
+                    node=cluster.index, kind="recv", tag=model,
+                    start=schedule.ingress_start, end=schedule.ingress_end,
+                    step=step))
+            self.trace.append(TraceEvent(
+                node=cluster.index, kind="compute", tag=model,
+                start=schedule.compute_start, end=schedule.compute_end,
+                step=step))
+            if schedule.egress_end > schedule.egress_start:
+                self.trace.append(TraceEvent(
+                    node=cluster.index, kind="send", tag=model,
+                    start=schedule.egress_start, end=schedule.egress_end,
+                    step=step))
+            self._push(schedule.completion, _P_COMPLETE,
+                       self._on_complete, (cluster, batch))
+
+    # -- main loop ------------------------------------------------------
+
+    def run(self):
+        self.seed_arrivals()
+        while self.heap:
+            time, _priority, _seq, handler, payload = heapq.heappop(
+                self.heap)
+            handler(time, payload)
+        if self.queue.pending:  # pragma: no cover - termination guard
+            raise RuntimeError(
+                f"serving simulation ended with "
+                f"{len(self.queue.pending)} requests stuck in the queue"
+            )
+        return self
+
+
+def simulate_fleet(scenario, fleet_name, profiles):
+    """Simulate one fleet; returns its deterministic report fragment.
+
+    Runs under a fresh :class:`~repro.obs.MetricsRegistry` so the
+    report's metric totals reflect exactly this fleet's activity.
+    """
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        engine = _FleetEngine(scenario, fleet_name, profiles).run()
+    return build_fleet_report(engine, registry.snapshot())
+
+
+def run_scenario(ref, seed=None, duration=None, dispatch=None, policy=None,
+                 fleet=None, jobs=1, cache=None, use_cache=True):
+    """Load, plan and simulate a scenario; returns ``(report, manifest)``.
+
+    ``ref`` is a scenario path, a builtin scenario name, or an already
+    constructed :class:`~repro.serve.scenario.Scenario`.  ``seed`` /
+    ``duration`` / ``dispatch`` / ``policy`` override the scenario file;
+    ``fleet`` restricts the run to one named fleet.  ``jobs`` and
+    ``cache`` control service-profile planning through
+    :mod:`repro.runtime`; neither affects report bytes.
+    """
+    scenario = ref if isinstance(ref, Scenario) else load_scenario(ref)
+    scenario = scenario.override(seed=seed, duration=duration,
+                                 dispatch=dispatch, policy=policy)
+    fleet_names = list(scenario.fleets)
+    if fleet is not None:
+        if fleet not in scenario.fleets:
+            raise KeyError(
+                f"no fleet {fleet!r} in scenario {scenario.name!r}; "
+                f"fleets: {fleet_names}"
+            )
+        fleet_names = [fleet]
+    profiles, manifest = prepare_profiles(scenario, fleet_names,
+                                          jobs=jobs, cache=cache,
+                                          use_cache=use_cache)
+    fleet_reports = {
+        name: simulate_fleet(scenario, name, profiles)
+        for name in fleet_names
+    }
+    return build_report(scenario, fleet_names, fleet_reports), manifest

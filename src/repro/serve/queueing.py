@@ -1,0 +1,148 @@
+"""Admission control and queueing policies.
+
+The front-end is a single bounded queue with explicit rejection (an
+overloaded serving system must shed load *somewhere*; dropping at
+admission keeps tail latency of admitted requests bounded) plus a
+pluggable *ordering policy* deciding which pending request is served
+next:
+
+* ``fifo`` — global arrival order;
+* ``fair`` — per-tenant fair share: the tenant with the fewest
+  dispatched requests goes first (deficit round-robin over tenants,
+  ties broken by arrival order);
+* ``edf`` — earliest absolute deadline first; requests without a
+  deadline sort last.
+
+Batching sits on top of the policy order: the best-ranked *ripe*
+request picks the batch key (model + params), and the batch fills with
+further pending requests of the same key in policy order.  A key is
+ripe when it has a full batch waiting or when its oldest pending
+request has aged past the batch window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["POLICIES", "AdmissionQueue", "Request", "make_policy"]
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One tenant inference request flowing through the system."""
+
+    id: int
+    tenant: str
+    batch_key: tuple  # (model, params preset)
+    arrival: float
+    deadline: float = None  # absolute simulated time, None = no SLO
+
+    @property
+    def deadline_or_inf(self):
+        return _INF if self.deadline is None else self.deadline
+
+
+class _FifoPolicy:
+    name = "fifo"
+
+    def order_key(self, request, queue):
+        return (request.arrival, request.id)
+
+
+class _FairSharePolicy:
+    """Least-served tenant first (dispatch-count deficit fairness)."""
+
+    name = "fair"
+
+    def order_key(self, request, queue):
+        return (queue.served.get(request.tenant, 0),
+                request.arrival, request.id)
+
+
+class _EdfPolicy:
+    name = "edf"
+
+    def order_key(self, request, queue):
+        return (request.deadline_or_inf, request.arrival, request.id)
+
+
+POLICIES = {p.name: p for p in (_FifoPolicy, _FairSharePolicy, _EdfPolicy)}
+
+
+def make_policy(name):
+    """Instantiate a queueing policy by name."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {sorted(POLICIES)}"
+        ) from None
+
+
+@dataclass
+class AdmissionQueue:
+    """Bounded pending-request pool with policy-ordered batch extraction."""
+
+    policy: object
+    max_queue: int
+    pending: list = field(default_factory=list)
+    #: dispatched-request count per tenant (fair-share state)
+    served: dict = field(default_factory=dict)
+    rejected: int = 0
+
+    def __len__(self):
+        return len(self.pending)
+
+    def offer(self, request):
+        """Admit ``request`` or reject it; returns True when admitted."""
+        if len(self.pending) >= self.max_queue:
+            self.rejected += 1
+            return False
+        self.pending.append(request)
+        return True
+
+    def oldest_pending_by_key(self):
+        """``{batch_key: earliest pending arrival}`` (flush-timer input)."""
+        oldest = {}
+        for req in self.pending:
+            cur = oldest.get(req.batch_key)
+            if cur is None or req.arrival < cur:
+                oldest[req.batch_key] = req.arrival
+        return oldest
+
+    def ripe_keys(self, now, max_requests, window_seconds):
+        """Batch keys eligible for dispatch at simulated time ``now``."""
+        sizes = {}
+        for req in self.pending:
+            sizes[req.batch_key] = sizes.get(req.batch_key, 0) + 1
+        oldest = self.oldest_pending_by_key()
+        ripe = []
+        for key, size in sizes.items():
+            if size >= max_requests:
+                ripe.append(key)
+            elif now >= oldest[key] + window_seconds - 1e-12:
+                ripe.append(key)
+        return ripe
+
+    def take_batch(self, now, max_requests, window_seconds):
+        """Extract the next policy-ordered ripe batch, or None.
+
+        The policy ranks every pending request; the best-ranked request
+        whose key is ripe selects the batch key, and up to
+        ``max_requests`` same-key requests leave the queue in policy
+        order.  Dispatch counts feed back into the fair-share policy.
+        """
+        ripe = set(self.ripe_keys(now, max_requests, window_seconds))
+        if not ripe:
+            return None
+        candidates = [r for r in self.pending if r.batch_key in ripe]
+        candidates.sort(key=lambda r: self.policy.order_key(r, self))
+        key = candidates[0].batch_key
+        batch = [r for r in candidates if r.batch_key == key][:max_requests]
+        taken = {r.id for r in batch}
+        self.pending = [r for r in self.pending if r.id not in taken]
+        for req in batch:
+            self.served[req.tenant] = self.served.get(req.tenant, 0) + 1
+        return batch

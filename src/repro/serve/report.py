@@ -1,0 +1,221 @@
+"""Deterministic SLO reports (``repro.serve/v1``).
+
+The report answers the questions the paper's serving claims raise:
+what latency distribution does each tenant see (p50/p95/p99), how deep
+does the admission queue get, how much load is shed, how busy is each
+cluster, and what *goodput* — in-deadline completions per second — the
+fleet sustains.
+
+Per-cluster utilization reuses :func:`repro.obs.overlap_report` on the
+engine's batch-phase :class:`~repro.sim.result.TraceEvent` stream
+(ingress = recv, program = compute, egress = send), the same machinery
+``repro profile`` applies to card-level traces one clock domain below.
+
+All numbers are simulated-clock quantities; the only wall-clock data
+(planning time, cache hits) lives in the run manifest, which is
+deliberately *not* part of the report so that report JSON is
+byte-identical across serial, ``--jobs N``, and warm-cache invocations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import format_table
+from repro.obs.report import overlap_report
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "build_fleet_report",
+    "build_report",
+    "percentile",
+    "render_report",
+]
+
+REPORT_SCHEMA = "repro.serve/v1"
+
+#: Queue-depth series entries kept in the report (downsampled beyond).
+_MAX_DEPTH_SAMPLES = 120
+
+
+def percentile(sorted_values, q):
+    """Nearest-rank percentile of pre-sorted ``sorted_values``.
+
+    Deterministic (no interpolation) and exact for the small sample
+    counts a serving window produces; returns None on empty input.
+    """
+    if not sorted_values:
+        return None
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile q must be in (0, 100], got {q}")
+    rank = math.ceil(q / 100.0 * len(sorted_values))
+    return sorted_values[rank - 1]
+
+
+def _latency_summary(latencies):
+    ordered = sorted(latencies)
+    if not ordered:
+        return {"count": 0, "p50": None, "p95": None, "p99": None,
+                "mean": None, "max": None}
+    return {
+        "count": len(ordered),
+        "p50": percentile(ordered, 50),
+        "p95": percentile(ordered, 95),
+        "p99": percentile(ordered, 99),
+        "mean": sum(ordered) / len(ordered),
+        "max": ordered[-1],
+    }
+
+
+def _depth_summary(series, horizon):
+    """Max + time-weighted mean + downsampled queue-depth series."""
+    max_depth = max(depth for _, depth in series)
+    weighted = 0.0
+    for (t0, depth), (t1, _) in zip(series, series[1:]):
+        weighted += depth * (t1 - t0)
+    last_t, last_depth = series[-1]
+    if horizon > last_t:
+        weighted += last_depth * (horizon - last_t)
+    mean_depth = weighted / horizon if horizon > 0 else 0.0
+    stride = max(1, math.ceil(len(series) / _MAX_DEPTH_SAMPLES))
+    sampled = series[::stride]
+    if sampled[-1] != series[-1]:
+        sampled.append(series[-1])
+    return {
+        "max_depth": max_depth,
+        "time_weighted_mean_depth": mean_depth,
+        "series": [[t, depth] for t, depth in sampled],
+    }
+
+
+def build_fleet_report(engine, metrics_snapshot):
+    """Assemble one fleet's report fragment from a finished engine."""
+    scenario = engine.scenario
+    horizon = max(scenario.duration_seconds, engine.last_completion)
+    utilization = overlap_report(engine.trace, makespan=horizon)
+    util_by_node = {card.node: card for card in utilization.cards}
+
+    clusters = []
+    for cluster in engine.clusters:
+        card = util_by_node.get(cluster.index)
+        compute_busy = card.compute_busy if card else 0.0
+        io_busy = card.comm_busy if card else 0.0
+        clusters.append({
+            "name": cluster.name,
+            "replica": cluster.replica,
+            "cards": cluster.spec.total_cards,
+            "batches": cluster.batches,
+            "requests": cluster.requests,
+            "compute_busy_seconds": compute_busy,
+            "io_busy_seconds": io_busy,
+            "utilization": compute_busy / horizon if horizon > 0 else 0.0,
+        })
+
+    tenants = {}
+    total_completed = 0
+    total_good = 0
+    total_rejected = 0
+    for name in sorted(engine.stats):
+        stats = engine.stats[name]
+        completed = len(stats.latencies)
+        good = completed - stats.deadline_misses
+        total_completed += completed
+        total_good += good
+        total_rejected += stats.rejected
+        tenants[name] = {
+            "model": engine.tenants[name].model,
+            "arrivals": stats.arrivals,
+            "completed": completed,
+            "rejected": stats.rejected,
+            "deadline_misses": stats.deadline_misses,
+            "latency_seconds": _latency_summary(stats.latencies),
+            "throughput_rps": completed / horizon,
+            "goodput_rps": good / horizon,
+        }
+
+    return {
+        "makespan_seconds": horizon,
+        "clusters": clusters,
+        "tenants": tenants,
+        "queue": {
+            "rejected": total_rejected,
+            **_depth_summary(engine.depth_series, horizon),
+        },
+        "throughput_rps": total_completed / horizon,
+        "goodput_rps": total_good / horizon,
+        "metrics": metrics_snapshot.get("counters", {}),
+    }
+
+
+def build_report(scenario, fleet_names, fleet_reports):
+    """The full ``repro.serve/v1`` document for one scenario run."""
+    return {
+        "schema": REPORT_SCHEMA,
+        "scenario": scenario.name,
+        "seed": scenario.seed,
+        "duration_seconds": scenario.duration_seconds,
+        "policy": scenario.policy,
+        "dispatch": scenario.dispatch,
+        "max_queue": scenario.max_queue,
+        "batch": {
+            "max_requests": scenario.batch.max_requests,
+            "window_seconds": scenario.batch.window_seconds,
+        },
+        "fleets": {name: fleet_reports[name] for name in fleet_names},
+    }
+
+
+def _fmt_latency(value):
+    return "-" if value is None else f"{value:.2f}"
+
+
+def render_report(report):
+    """Human-readable rendering of a ``repro.serve/v1`` report."""
+    lines = [
+        f"scenario {report['scenario']!r} — policy {report['policy']}, "
+        f"dispatch {report['dispatch']}, seed {report['seed']}, "
+        f"{report['duration_seconds']:g} s of simulated arrivals",
+    ]
+    for fleet_name, fleet in report["fleets"].items():
+        lines.append("")
+        lines.append(
+            f"fleet {fleet_name!r}: makespan "
+            f"{fleet['makespan_seconds']:.1f} s, throughput "
+            f"{fleet['throughput_rps']:.3f} rps, goodput "
+            f"{fleet['goodput_rps']:.3f} rps"
+        )
+        tenant_rows = []
+        for name, t in fleet["tenants"].items():
+            lat = t["latency_seconds"]
+            tenant_rows.append([
+                name, t["model"], t["arrivals"], t["completed"],
+                t["rejected"], t["deadline_misses"],
+                _fmt_latency(lat["p50"]), _fmt_latency(lat["p95"]),
+                _fmt_latency(lat["p99"]),
+                f"{t['goodput_rps']:.3f}",
+            ])
+        lines.append(format_table(
+            ["Tenant", "Model", "Arr", "Done", "Rej", "Miss",
+             "p50 (s)", "p95 (s)", "p99 (s)", "Goodput"],
+            tenant_rows,
+            title="Per-tenant SLO",
+        ))
+        cluster_rows = [
+            [f"{c['name']}#{c['replica']}", c["cards"], c["batches"],
+             c["requests"], c["compute_busy_seconds"],
+             f"{100.0 * c['utilization']:.1f}%"]
+            for c in fleet["clusters"]
+        ]
+        lines.append(format_table(
+            ["Cluster", "Cards", "Batches", "Reqs", "Busy (s)", "Util"],
+            cluster_rows,
+            title="Per-cluster occupancy",
+            float_fmt="{:.1f}",
+        ))
+        queue = fleet["queue"]
+        lines.append(
+            f"queue: max depth {queue['max_depth']}, mean depth "
+            f"{queue['time_weighted_mean_depth']:.2f}, rejected "
+            f"{queue['rejected']}"
+        )
+    return "\n".join(lines)

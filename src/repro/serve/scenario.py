@@ -1,0 +1,358 @@
+"""Serving scenarios: tenants, fleets, and queueing/batching knobs.
+
+A scenario is a plain JSON document (committed under
+``src/repro/serve/scenarios/``) describing one steady-state serving
+experiment:
+
+.. code-block:: json
+
+    {
+      "schema": "repro.serve.scenario/v1",
+      "name": "steady_hydra_m",
+      "duration_seconds": 240.0,
+      "seed": 2024,
+      "policy": "fifo",
+      "dispatch": "pipelined",
+      "max_queue": 32,
+      "batch": {"max_requests": 4, "window_seconds": 2.0},
+      "fleets": {"hydra-m": ["Hydra-M"]},
+      "tenants": [
+        {"name": "cnn-a", "model": "resnet18",
+         "arrival": {"process": "poisson", "rate_rps": 0.25}}
+      ]
+    }
+
+Fleet entries are deployment registry names
+(:func:`repro.core.available_systems`) or ``"hydra-SxC"`` shorthand for
+arbitrary scale-out deployments (``hydra-2x4`` = 2 servers x 4 cards).
+Tenants bind a registered model to a CKKS parameter preset and a seeded
+arrival process; every numeric knob is part of the runtime cache
+fingerprint chain, so two scenarios that differ in any modelled quantity
+never share planned service profiles by accident.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.ckks.params import PAPER_PARAMS
+from repro.hw.cluster import hydra_cluster
+
+__all__ = [
+    "SCENARIO_SCHEMA",
+    "SCENARIOS_DIR",
+    "BatchConfig",
+    "Overheads",
+    "Scenario",
+    "TenantSpec",
+    "builtin_scenarios",
+    "load_scenario",
+    "params_preset",
+    "resolve_fleet_cluster",
+]
+
+SCENARIO_SCHEMA = "repro.serve.scenario/v1"
+
+#: Committed scenario files shipped with the package.
+SCENARIOS_DIR = Path(__file__).resolve().parent / "scenarios"
+
+#: CKKS parameter presets a tenant may bind to.  Distinct presets are
+#: batching-incompatible (different ciphertext layouts) and produce
+#: distinct service profiles.
+_PARAMS_PRESETS = {"paper": PAPER_PARAMS}
+
+_ARRIVAL_PROCESSES = ("poisson", "uniform")
+_POLICY_NAMES = ("fifo", "fair", "edf")
+_DISPATCH_MODES = ("pipelined", "serialized")
+
+_SHORTHAND = re.compile(r"^hydra-(\d+)x(\d+)$")
+
+
+def params_preset(name):
+    """Resolve a CKKS parameter preset name (see ``_PARAMS_PRESETS``)."""
+    try:
+        return _PARAMS_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown params preset {name!r}; "
+            f"available: {sorted(_PARAMS_PRESETS)}"
+        ) from None
+
+
+def resolve_fleet_cluster(name):
+    """A fleet entry → ``(registry_name_or_None, ClusterSpec)``.
+
+    Registry names (``Hydra-M``, ``FAB-L``, ...) resolve through
+    :func:`repro.core.cluster_named` and keep their registry identity so
+    the runtime cache fingerprints them exactly like ``repro bench``
+    does; ``hydra-SxC`` shorthand builds an explicit
+    :class:`~repro.hw.ClusterSpec`.
+    """
+    match = _SHORTHAND.match(name)
+    if match:
+        servers, cards = int(match.group(1)), int(match.group(2))
+        return None, hydra_cluster(servers, cards)
+    from repro.core.system import cluster_named
+
+    return name, cluster_named(name)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: a model + CKKS params + an open-loop arrival process.
+
+    ``deadline_seconds`` is a per-request relative latency SLO; requests
+    completing later still count toward throughput but not goodput (and
+    EDF uses it for ordering).  ``ciphertexts_in`` / ``ciphertexts_out``
+    size the host<->cluster staging transfers of one request.
+    """
+
+    name: str
+    model: str
+    process: str = "poisson"
+    rate_rps: float = 1.0
+    params: str = "paper"
+    deadline_seconds: float = None
+    ciphertexts_in: int = 1
+    ciphertexts_out: int = 1
+
+    def __post_init__(self):
+        if self.process not in _ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"tenant {self.name!r}: unknown arrival process "
+                f"{self.process!r}; choose from {_ARRIVAL_PROCESSES}"
+            )
+        if self.rate_rps <= 0:
+            raise ValueError(
+                f"tenant {self.name!r}: rate_rps must be positive"
+            )
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError(
+                f"tenant {self.name!r}: deadline_seconds must be positive"
+            )
+        if self.ciphertexts_in < 1 or self.ciphertexts_out < 0:
+            raise ValueError(
+                f"tenant {self.name!r}: ciphertext counts out of range"
+            )
+        params_preset(self.params)  # fail fast on unknown presets
+
+    @property
+    def batch_key(self):
+        """Batching-compatibility key: same model + same params."""
+        return (self.model, self.params)
+
+    @classmethod
+    def from_dict(cls, data):
+        arrival = dict(data.get("arrival", {}))
+        return cls(
+            name=data["name"],
+            model=data["model"],
+            process=arrival.get("process", "poisson"),
+            rate_rps=float(arrival.get("rate_rps", 1.0)),
+            params=data.get("params", "paper"),
+            deadline_seconds=data.get("deadline_seconds"),
+            ciphertexts_in=int(data.get("ciphertexts_in", 1)),
+            ciphertexts_out=int(data.get("ciphertexts_out", 1)),
+        )
+
+    def to_dict(self):
+        doc = {
+            "name": self.name,
+            "model": self.model,
+            "params": self.params,
+            "arrival": {"process": self.process, "rate_rps": self.rate_rps},
+            "ciphertexts_in": self.ciphertexts_in,
+            "ciphertexts_out": self.ciphertexts_out,
+        }
+        if self.deadline_seconds is not None:
+            doc["deadline_seconds"] = self.deadline_seconds
+        return doc
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Batch coalescing knobs.
+
+    Compatible requests (same :attr:`TenantSpec.batch_key`) are packed
+    into one planned program execution — the slot-packing amortization
+    FAB reports for bootstrapping.  A batch closes when it reaches
+    ``max_requests`` or when its oldest member has waited
+    ``window_seconds``.
+    """
+
+    max_requests: int = 4
+    window_seconds: float = 2.0
+
+    def __post_init__(self):
+        if self.max_requests < 1:
+            raise ValueError("batch.max_requests must be >= 1")
+        if self.window_seconds < 0:
+            raise ValueError("batch.window_seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class Overheads:
+    """Host-side staging costs of one dispatched batch.
+
+    ``batch_setup_seconds`` models per-batch host orchestration (program
+    upload, evaluation-key residency checks) paid on the cluster's I/O
+    path before input ciphertexts stream in;
+    ``compute_per_extra_request`` scales batch compute as
+    ``base * (1 + f * (B - 1))`` — 0.0 is perfect slot-packing
+    amortization up to the batch cap.
+    """
+
+    batch_setup_seconds: float = 0.1
+    compute_per_extra_request: float = 0.0
+
+    def __post_init__(self):
+        if self.batch_setup_seconds < 0:
+            raise ValueError("overheads.batch_setup_seconds must be >= 0")
+        if self.compute_per_extra_request < 0:
+            raise ValueError(
+                "overheads.compute_per_extra_request must be >= 0"
+            )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One complete serving experiment description."""
+
+    name: str
+    duration_seconds: float
+    seed: int
+    tenants: tuple
+    fleets: dict  # fleet name -> tuple of fleet-entry strings
+    policy: str = "fifo"
+    dispatch: str = "pipelined"
+    max_queue: int = 64
+    batch: BatchConfig = field(default_factory=BatchConfig)
+    overheads: Overheads = field(default_factory=Overheads)
+
+    def __post_init__(self):
+        if self.duration_seconds <= 0:
+            raise ValueError("duration_seconds must be positive")
+        if self.policy not in _POLICY_NAMES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; "
+                f"choose from {_POLICY_NAMES}"
+            )
+        if self.dispatch not in _DISPATCH_MODES:
+            raise ValueError(
+                f"unknown dispatch mode {self.dispatch!r}; "
+                f"choose from {_DISPATCH_MODES}"
+            )
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if not self.tenants:
+            raise ValueError("scenario needs at least one tenant")
+        if not self.fleets:
+            raise ValueError("scenario needs at least one fleet")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in {names}")
+        if self.policy == "edf" and all(
+            t.deadline_seconds is None for t in self.tenants
+        ):
+            raise ValueError(
+                "policy 'edf' needs at least one tenant with "
+                "deadline_seconds"
+            )
+        for fleet, entries in self.fleets.items():
+            if not entries:
+                raise ValueError(f"fleet {fleet!r} has no clusters")
+            for entry in entries:
+                resolve_fleet_cluster(entry)  # fail fast
+
+    def override(self, seed=None, duration=None, dispatch=None,
+                 policy=None):
+        """A copy with CLI-level overrides applied (None = keep)."""
+        import dataclasses
+
+        return dataclasses.replace(
+            self,
+            seed=self.seed if seed is None else int(seed),
+            duration_seconds=(self.duration_seconds if duration is None
+                              else float(duration)),
+            dispatch=self.dispatch if dispatch is None else dispatch,
+            policy=self.policy if policy is None else policy,
+        )
+
+    @classmethod
+    def from_dict(cls, data, source="scenario"):
+        schema = data.get("schema")
+        if schema != SCENARIO_SCHEMA:
+            raise ValueError(
+                f"{source}: unsupported scenario schema {schema!r} "
+                f"(expected {SCENARIO_SCHEMA!r})"
+            )
+        batch = BatchConfig(**data.get("batch", {}))
+        overheads = Overheads(**data.get("overheads", {}))
+        fleets = {
+            str(name): tuple(entries)
+            for name, entries in data["fleets"].items()
+        }
+        tenants = tuple(
+            TenantSpec.from_dict(t) for t in data["tenants"]
+        )
+        return cls(
+            name=data["name"],
+            duration_seconds=float(data["duration_seconds"]),
+            seed=int(data["seed"]),
+            tenants=tenants,
+            fleets=fleets,
+            policy=data.get("policy", "fifo"),
+            dispatch=data.get("dispatch", "pipelined"),
+            max_queue=int(data.get("max_queue", 64)),
+            batch=batch,
+            overheads=overheads,
+        )
+
+    def to_dict(self):
+        return {
+            "schema": SCENARIO_SCHEMA,
+            "name": self.name,
+            "duration_seconds": self.duration_seconds,
+            "seed": self.seed,
+            "policy": self.policy,
+            "dispatch": self.dispatch,
+            "max_queue": self.max_queue,
+            "batch": {
+                "max_requests": self.batch.max_requests,
+                "window_seconds": self.batch.window_seconds,
+            },
+            "overheads": {
+                "batch_setup_seconds": self.overheads.batch_setup_seconds,
+                "compute_per_extra_request":
+                    self.overheads.compute_per_extra_request,
+            },
+            "fleets": {name: list(v) for name, v in self.fleets.items()},
+            "tenants": [t.to_dict() for t in self.tenants],
+        }
+
+
+def builtin_scenarios():
+    """Names of the committed scenario files, sorted."""
+    if not SCENARIOS_DIR.is_dir():
+        return []
+    return sorted(p.stem for p in SCENARIOS_DIR.glob("*.json"))
+
+
+def load_scenario(ref):
+    """Load a scenario from a file path or a builtin name."""
+    path = Path(ref)
+    if not path.is_file():
+        candidate = SCENARIOS_DIR / f"{ref}.json"
+        if candidate.is_file():
+            path = candidate
+        else:
+            raise FileNotFoundError(
+                f"no scenario file {ref!r}; builtin scenarios: "
+                f"{', '.join(builtin_scenarios()) or '(none)'}"
+            )
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    return Scenario.from_dict(data, source=str(path))

@@ -1,0 +1,96 @@
+"""The ``repro.serve/v1`` report schema and a dependency-free validator.
+
+CI validates every emitted serving report against the checked-in schema
+file (``serve_report.schema.json``, committed next to this module)
+before uploading it as an artifact, so downstream consumers of the
+artifact can rely on its shape.  The validator implements the small
+JSON-Schema subset the file uses — ``type`` (including union lists),
+``properties`` / ``required`` / ``additionalProperties``, ``items``,
+``enum``, ``minimum`` — because the container image does not ship the
+``jsonschema`` package (same approach as
+:func:`repro.obs.validate_chrome_trace`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["REPORT_SCHEMA_PATH", "load_schema", "validate_serve_report"]
+
+#: The checked-in schema file for ``repro.serve/v1`` reports.
+REPORT_SCHEMA_PATH = Path(__file__).resolve().parent / \
+    "serve_report.schema.json"
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def load_schema(path=None):
+    """Load a schema document (default: the packaged report schema)."""
+    with open(path or REPORT_SCHEMA_PATH, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _fail(path, message):
+    where = path or "$"
+    raise ValueError(f"serve report schema violation at {where}: {message}")
+
+
+def _check_type(value, expected, path):
+    types = expected if isinstance(expected, list) else [expected]
+    for name in types:
+        checker = _TYPE_CHECKS.get(name)
+        if checker is None:
+            _fail(path, f"schema uses unsupported type {name!r}")
+        if checker(value):
+            return
+    _fail(path, f"expected type {expected}, got {type(value).__name__}")
+
+
+def _validate(value, schema, path):
+    if "enum" in schema and value not in schema["enum"]:
+        _fail(path, f"value {value!r} not in enum {schema['enum']}")
+    if "type" in schema:
+        _check_type(value, schema["type"], path)
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool):
+        if value < schema["minimum"]:
+            _fail(path, f"value {value} below minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        properties = schema.get("properties", {})
+        for name in schema.get("required", []):
+            if name not in value:
+                _fail(path, f"missing required property {name!r}")
+        additional = schema.get("additionalProperties", True)
+        for name, item in value.items():
+            if name in properties:
+                _validate(item, properties[name], f"{path}.{name}")
+            elif additional is False:
+                _fail(path, f"unexpected property {name!r}")
+            elif isinstance(additional, dict):
+                _validate(item, additional, f"{path}.{name}")
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            _validate(item, schema["items"], f"{path}[{i}]")
+
+
+def validate_serve_report(report, schema=None):
+    """Raise ``ValueError`` unless ``report`` matches the v1 schema.
+
+    ``schema`` may be a pre-loaded schema document or a path to one;
+    None loads the packaged :data:`REPORT_SCHEMA_PATH`.  Returns the
+    report unchanged so callers can validate inline.
+    """
+    if schema is None or isinstance(schema, (str, Path)):
+        schema = load_schema(schema)
+    _validate(report, schema, "")
+    return report

@@ -138,11 +138,40 @@ class SimResult:
         return total
 
     def merge_sequential(self, other):
-        """Append a later step executed after a barrier (Procedure 2)."""
+        """Append a later step executed after a barrier (Procedure 2).
+
+        ``other`` must be a step-local result: a non-negative makespan
+        with every trace event inside ``[0, other.makespan]``.  An event
+        outside that window would land before the barrier (on top of the
+        timeline merged so far) or past the step's declared end, so the
+        merge validates up front and raises instead of silently
+        producing a corrupt full-run timeline.  No state is mutated on
+        failure.
+        """
         if not self.nodes:
             self.nodes = [NodeStats() for _ in other.nodes]
         if len(self.nodes) != len(other.nodes):
             raise ValueError("cannot merge results with different node counts")
+        if not other.makespan >= 0:
+            raise ValueError(
+                f"cannot append step with makespan {other.makespan!r}; "
+                f"steps merge in execution order with non-negative spans"
+            )
+        tol = 1e-9 * max(1.0, other.makespan)
+        for ev in other.trace:
+            if ev.end < ev.start:
+                raise ValueError(
+                    f"trace event {ev.tag!r} on node {ev.node} ends "
+                    f"before it starts ({ev.end} < {ev.start})"
+                )
+            if ev.start < -tol or ev.end > other.makespan + tol:
+                raise ValueError(
+                    f"out-of-order append: trace event {ev.tag!r} on "
+                    f"node {ev.node} spans [{ev.start}, {ev.end}] outside "
+                    f"the step window [0, {other.makespan}]; steps must "
+                    f"be appended in execution order with step-local "
+                    f"timestamps"
+                )
         if other.trace:
             # Later steps start after the barrier: translate their events
             # past everything merged so far, giving one full-run timeline.

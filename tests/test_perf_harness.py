@@ -37,6 +37,7 @@ EXPECTED_WORKLOADS = (
     "ckks.bsgs_matmul",
     "ckks.bootstrap.coeff_to_slot",
     "sim.hydra_s.resnet18_step",
+    "serve.steady.hydra_m",
 )
 
 

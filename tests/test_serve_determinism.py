@@ -1,0 +1,103 @@
+"""Byte-level determinism of the serving SLO report.
+
+The contract: a scenario + seed fully determines the JSON report.
+Planning parallelism (``--jobs``), process restarts, and runtime-cache
+hits may change wall-clock provenance (which lives in the run manifest,
+never the report) but not a single report byte.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.cli import main as cli_main
+
+_ARGS = ["serve", "steady_hydra_m", "--duration", "40", "--json",
+         "--validate"]
+
+
+def _run_cli(tmp_path, tag, extra, cache_dir):
+    out_path = tmp_path / f"report-{tag}.json"
+    env = dict(os.environ,
+               PYTHONPATH="src",
+               REPRO_CACHE_DIR=str(cache_dir))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *_ARGS,
+         "--out", str(out_path), *extra],
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        env=env, capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    return out_path.read_bytes()
+
+
+def test_report_bytes_survive_jobs_and_restarts(tmp_path):
+    cache_a = tmp_path / "cache-a"
+    cache_b = tmp_path / "cache-b"
+    # Cold serial run, cold parallel-planning run (separate caches so
+    # both actually simulate), then a restart against the first cache
+    # (pure cache-hit planning path).
+    serial = _run_cli(tmp_path, "serial", [], cache_a)
+    parallel = _run_cli(tmp_path, "jobs4", ["--jobs", "4"], cache_b)
+    warm = _run_cli(tmp_path, "warm", [], cache_a)
+    assert serial == parallel
+    assert serial == warm
+    report = json.loads(serial)
+    assert report["schema"] == "repro.serve/v1"
+    assert report["fleets"]["hydra-m"]["tenants"]
+
+
+def test_run_scenario_in_process_determinism():
+    from repro.serve import run_scenario
+
+    first, _ = run_scenario("steady_hydra_m", duration=40.0)
+    second, _ = run_scenario("steady_hydra_m", duration=40.0)
+    assert (json.dumps(first, sort_keys=True)
+            == json.dumps(second, sort_keys=True))
+
+
+def test_seed_changes_report():
+    from repro.serve import run_scenario
+
+    base, _ = run_scenario("steady_hydra_m", duration=40.0)
+    reseeded, _ = run_scenario("steady_hydra_m", duration=40.0, seed=1)
+    assert base["seed"] != reseeded["seed"]
+    assert (base["fleets"]["hydra-m"]["tenants"]["cnn-interactive"]
+            != reseeded["fleets"]["hydra-m"]["tenants"]["cnn-interactive"])
+
+
+def test_cli_list_and_errors(capsys):
+    lines = []
+    assert cli_main(["serve", "--list"], out=lines.append) == 0
+    assert any("steady_hydra_m" in line for line in lines)
+    lines.clear()
+    assert cli_main(["serve"], out=lines.append) == 2
+    assert "required" in lines[0]
+    lines.clear()
+    assert cli_main(["serve", "no_such_scenario"], out=lines.append) == 2
+    assert "error" in lines[0]
+
+
+def test_schema_rejects_malformed_reports():
+    from repro.serve import run_scenario, validate_serve_report
+
+    report, _ = run_scenario("steady_hydra_m", duration=40.0)
+    validate_serve_report(report)
+
+    missing = json.loads(json.dumps(report))
+    del missing["fleets"]["hydra-m"]["goodput_rps"]
+    with pytest.raises(ValueError, match="goodput_rps"):
+        validate_serve_report(missing)
+
+    wrong_type = json.loads(json.dumps(report))
+    wrong_type["seed"] = "2024"
+    with pytest.raises(ValueError, match="seed"):
+        validate_serve_report(wrong_type)
+
+    extra = json.loads(json.dumps(report))
+    extra["wall_clock_seconds"] = 1.23
+    with pytest.raises(ValueError, match="wall_clock_seconds"):
+        validate_serve_report(extra)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cost.model import OpComponents
-from repro.sim.result import NodeStats, SimResult
+from repro.sim.result import NodeStats, SimResult, TraceEvent
 
 
 def _result(makespan, busy, nodes=2, tags=None):
@@ -61,6 +61,60 @@ class TestMergeSequential:
                       components_total=OpComponents(ntt_s=2.0))
         a.merge_sequential(b)
         assert a.components_total.ntt_s == pytest.approx(3.0)
+
+    def test_trace_events_shift_past_barrier(self):
+        a = _result(3.0, 2.0)
+        a.trace = [TraceEvent(node=0, kind="compute", tag="x",
+                              start=0.0, end=3.0)]
+        b = _result(5.0, 4.0)
+        b.trace = [TraceEvent(node=1, kind="compute", tag="y",
+                              start=1.0, end=5.0)]
+        a.merge_sequential(b)
+        assert a.trace[1].start == pytest.approx(4.0)
+        assert a.trace[1].end == pytest.approx(8.0)
+
+    def test_negative_makespan_rejected(self):
+        a = _result(1.0, 1.0)
+        with pytest.raises(ValueError, match="makespan"):
+            a.merge_sequential(_result(-2.0, 1.0))
+        # Nothing was merged by the failed call.
+        assert a.makespan == pytest.approx(1.0)
+
+    def test_out_of_order_event_rejected(self):
+        a = _result(1.0, 1.0)
+        b = _result(2.0, 1.0)
+        # Already-shifted (absolute-time) events would land on top of the
+        # merged timeline: refuse instead of silently corrupting it.
+        b.trace = [TraceEvent(node=0, kind="compute", tag="x",
+                              start=1.5, end=3.5)]
+        with pytest.raises(ValueError, match="out-of-order"):
+            a.merge_sequential(b)
+        assert a.makespan == pytest.approx(1.0)
+        assert a.trace == []
+
+    def test_pre_barrier_event_rejected(self):
+        a = _result(1.0, 1.0)
+        b = _result(2.0, 1.0)
+        b.trace = [TraceEvent(node=0, kind="compute", tag="x",
+                              start=-0.5, end=1.0)]
+        with pytest.raises(ValueError, match="out-of-order"):
+            a.merge_sequential(b)
+
+    def test_inverted_event_rejected(self):
+        a = _result(1.0, 1.0)
+        b = _result(2.0, 1.0)
+        b.trace = [TraceEvent(node=0, kind="compute", tag="x",
+                              start=1.5, end=0.5)]
+        with pytest.raises(ValueError, match="ends"):
+            a.merge_sequential(b)
+
+    def test_event_at_exact_step_boundary_accepted(self):
+        a = _result(1.0, 1.0)
+        b = _result(2.0, 1.0)
+        b.trace = [TraceEvent(node=0, kind="compute", tag="x",
+                              start=0.0, end=2.0)]
+        a.merge_sequential(b)
+        assert a.trace[0].end == pytest.approx(3.0)
 
     def test_bytes_and_transfers_accumulate(self):
         a = _result(1.0, 1.0)
