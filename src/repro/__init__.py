@@ -17,11 +17,13 @@ A full-system reproduction of the HPCA 2025 paper, comprising:
   run requests, process-pool fan-out with deterministic merging, the
   persistent fingerprint-keyed result cache, and run manifests;
 * :mod:`repro.analysis` — censuses and table rendering for the
-  experiment harnesses in ``benchmarks/``.
+  experiment harnesses in ``benchmarks/``;
+* :mod:`repro.backend` — pluggable kernel providers (numpy / numba /
+  numpy-fast) behind the NTT/RNS hot path.
 """
 
-from repro.core import HydraSystem, run_benchmark
+from repro.core import HydraSystem
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-__all__ = ["HydraSystem", "run_benchmark", "__version__"]
+__all__ = ["HydraSystem", "__version__"]

@@ -1,0 +1,126 @@
+"""Reduced-precision numpy provider (``numpy-fast``).
+
+FPT (FPGA TFHE bootstrapping) runs an entire FHE bootstrap in
+noise-trimmed fixed-point; the transferable insight is that modular
+kernels do not need wide integer machinery when the operand widths
+*provably* fit the fast datapath.  Here the fast datapath is the float64
+FMA pipeline: for narrow-enough moduli the Shoup/Barrett-style quotient
+
+    quot = floor(float(x) * float(y) / float(q))
+    r    = x*y - quot*q          (uint64, wraps harmlessly)
+
+is **exact** after two wraparound-minimum corrections, because every
+intermediate product fits inside the 53-bit float64 significand.  The
+kernels therefore stay byte-identical to the reference provider — this
+is a *fast path*, not an approximation — which the parity suite pins.
+
+Precision guard
+---------------
+Lazily-reduced butterfly operands live in ``[0, 2q)``, so the widest
+product a kernel forms is ``4*q**2`` (pointwise multiply of two lazy
+transforms).  Exactness needs ``4*q**2 <= 2**53``, i.e. ``q`` at most
+:data:`MAX_FAST_MODULUS_BITS` (25) bits.  The provider checks the
+float64 significand width and self-tests a worst-case operand vector at
+construction; kernels whose moduli exceed the bound silently fall back
+to the exact reference kernel (correctness never depends on the fast
+path being applicable).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.numpy_backend import NumpyProvider
+from repro.backend.provider import BackendUnavailable
+from repro.math.ntt import NttKernel
+
+__all__ = ["MAX_FAST_MODULUS_BITS", "FastNttKernel", "NumpyFastProvider"]
+
+#: Widest modulus (bits) for which the float64 quotient is provably
+#: exact on lazily-reduced operands: 4 * (2**25)**2 == 2**52 <= 2**53.
+MAX_FAST_MODULUS_BITS = 25
+
+
+def _float_mulmod(x, y, q):
+    """Exact ``x * y mod q`` via a float64 quotient (see module doc).
+
+    Requires every product ``x * y`` below ``2**53``.  The float
+    quotient is within one of the true floor, so the raw remainder lies
+    in ``(-q, 2q)``; one wraparound-minimum pulls negative values up and
+    one pulls ``[q, 2q)`` values down.
+    """
+    xy = np.multiply(x, y, dtype=np.float64)
+    quot = np.floor(xy / np.asarray(q, dtype=np.float64)).astype(np.uint64)
+    r = x * y - quot * q
+    r = np.minimum(r, r + q)
+    return np.minimum(r, r - q)
+
+
+class FastNttKernel(NttKernel):
+    """An :class:`~repro.math.ntt.NttKernel` with float64 modular products.
+
+    Only the :meth:`~repro.math.ntt.NttKernel._mulmod` hook differs;
+    stage structure, lazy-reduction bounds and outputs are identical.
+    """
+
+    def _mulmod(self, x, y, q):
+        return _float_mulmod(x, y, q)
+
+
+class NumpyFastProvider(NumpyProvider):
+    """Float64 Shoup-style fast path where the modulus width permits."""
+
+    name = "numpy-fast"
+
+    def __init__(self):
+        super().__init__()
+        self._precision_check()
+
+    @classmethod
+    def availability(cls):
+        nmant = np.finfo(np.float64).nmant
+        if nmant < 52:
+            return False, f"float64 significand too narrow ({nmant} bits)"
+        return True, (
+            f"float64 fast path for moduli <= {MAX_FAST_MODULUS_BITS} bits"
+        )
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def _precision_check(cls):
+        """Prove the exact-rounding claim on this platform, or refuse.
+
+        Checks the float64 significand width and replays a worst-case
+        operand vector (lazy values just below ``2q`` at the widest
+        permitted modulus) against exact integer arithmetic.
+        """
+        ok, detail = cls.availability()
+        if not ok:
+            raise BackendUnavailable(f"numpy-fast: {detail}")
+        q = np.uint64((1 << MAX_FAST_MODULUS_BITS) - 39)  # widest permitted
+        top = int(2 * q) - 1
+        rng = np.random.default_rng(0xFA57)
+        x = rng.integers(top - 512, top + 1, 1024, dtype=np.uint64)
+        y = rng.integers(top - 512, top + 1, 1024, dtype=np.uint64)
+        got = _float_mulmod(x, y, q)
+        want = x * y % q
+        if not np.array_equal(got, want):
+            raise BackendUnavailable(
+                "numpy-fast: float64 mulmod self-test failed on this "
+                "platform; refusing to construct an inexact provider"
+            )
+
+    @staticmethod
+    def fast_path_applies(moduli):
+        """Whether every modulus is narrow enough for the float64 path."""
+        return all(
+            int(q).bit_length() <= MAX_FAST_MODULUS_BITS for q in moduli
+        )
+
+    def make_kernel(self, poly_degree, moduli):
+        contexts = tuple(self.get_context(poly_degree, q) for q in moduli)
+        if not self.fast_path_applies(moduli):
+            # Wide moduli: exact reference kernel (documented fallback).
+            return NttKernel(poly_degree, moduli=moduli, contexts=contexts)
+        return FastNttKernel(poly_degree, moduli=moduli, contexts=contexts)

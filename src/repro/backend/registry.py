@@ -1,0 +1,176 @@
+"""Backend registry and selection.
+
+One process can hold several live providers at once (each with its own
+twiddle/kernel caches); selection resolves a *spec* — a provider
+instance, a registry name, or ``None`` — into an instance with the
+precedence
+
+    explicit argument  >  :func:`use_backend` scope (the CLI)  >
+    ``$REPRO_BACKEND``  >  ``"numpy"``
+
+``None`` at a context-creation site therefore means "whatever the
+caller's environment selected", which is how ``repro perf run
+--backend X`` re-points every workload without touching workload code.
+
+Providers whose optional dependency is missing degrade gracefully:
+:func:`get_backend` emits a ``RuntimeWarning`` and returns the numpy
+provider instead of crashing, while :func:`available_backends` reports
+the honest availability for ``repro backend list``.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from contextlib import contextmanager
+
+from repro.backend.provider import BackendUnavailable, KernelProvider
+
+__all__ = [
+    "available_backends",
+    "backend_names",
+    "clear_caches",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "resolve_backend_name",
+    "use_backend",
+]
+
+#: Environment variable naming the default backend.
+ENV_VAR = "REPRO_BACKEND"
+
+_DEFAULT = "numpy"
+
+_REGISTRY = {}   # name -> provider class
+_INSTANCES = {}  # name -> provider instance (lazy singletons)
+_SCOPE = []      # use_backend() override stack (innermost last)
+
+
+def register_backend(cls):
+    """Register a :class:`KernelProvider` subclass under ``cls.name``.
+
+    Usable as a decorator for third-party providers.  Re-registering a
+    name replaces the class and drops any cached instance.
+    """
+    if not (isinstance(cls, type) and issubclass(cls, KernelProvider)):
+        raise TypeError(f"expected a KernelProvider subclass, got {cls!r}")
+    if not cls.name or not isinstance(cls.name, str):
+        raise ValueError(f"{cls.__name__} must define a string name")
+    _REGISTRY[cls.name] = cls
+    _INSTANCES.pop(cls.name, None)
+    return cls
+
+
+def backend_names():
+    """Registered backend names, default first."""
+    names = sorted(_REGISTRY)
+    if _DEFAULT in names:
+        names.remove(_DEFAULT)
+        names.insert(0, _DEFAULT)
+    return tuple(names)
+
+
+def available_backends():
+    """``{name: (available, detail)}`` for every registered backend."""
+    return {
+        name: _REGISTRY[name].availability() for name in backend_names()
+    }
+
+
+def _unknown(name):
+    return KeyError(
+        f"unknown backend {name!r}; registered: {', '.join(backend_names())}"
+    )
+
+
+def get_backend(name):
+    """The shared provider instance registered under ``name``.
+
+    Falls back to the numpy provider (with a ``RuntimeWarning``) when
+    the named backend's optional dependency is unavailable.
+    """
+    instance = _INSTANCES.get(name)
+    if instance is not None:
+        return instance
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise _unknown(name)
+    try:
+        instance = cls()
+    except BackendUnavailable as exc:
+        warnings.warn(
+            f"backend {name!r} is unavailable ({exc}); "
+            f"falling back to {_DEFAULT!r}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return get_backend(_DEFAULT)
+    _INSTANCES[name] = instance
+    return instance
+
+
+def default_backend_name():
+    """The name selection falls back to: scope, then env, then numpy."""
+    if _SCOPE:
+        return _SCOPE[-1]
+    env = os.environ.get(ENV_VAR)
+    if env:
+        if env not in _REGISTRY:
+            raise _unknown(env)
+        return env
+    return _DEFAULT
+
+
+def resolve_backend_name(spec=None):
+    """Resolve a spec (instance | name | None) to a canonical name.
+
+    Unlike :func:`get_backend` this never instantiates a provider, so
+    fingerprinting a run that *requests* numba on a box without numba
+    still keys the cache under ``"numba"`` — conservative, never a
+    collision.
+    """
+    if isinstance(spec, KernelProvider):
+        return spec.name
+    if spec is None:
+        return default_backend_name()
+    if spec not in _REGISTRY:
+        raise _unknown(spec)
+    return spec
+
+
+def resolve_backend(spec=None):
+    """Resolve a spec (instance | name | None) to a provider instance."""
+    if isinstance(spec, KernelProvider):
+        return spec
+    return get_backend(resolve_backend_name(spec))
+
+
+@contextmanager
+def use_backend(spec):
+    """Scope the *default* backend (``None`` resolution) to ``spec``.
+
+    Explicit names still win inside the scope; this only re-points what
+    unspecified call sites resolve to.  Scopes nest; the innermost wins.
+    """
+    name = resolve_backend_name(spec)
+    _SCOPE.append(name)
+    try:
+        yield get_backend(name)
+    finally:
+        _SCOPE.pop()
+
+
+def clear_caches():
+    """Drop every provider's memoized contexts/kernels + shared tables.
+
+    This is the one cache-clearing entry point: it covers each live
+    provider's context/kernel caches and the shared bit-reversal
+    permutation table in :mod:`repro.math.ntt`.
+    """
+    for instance in _INSTANCES.values():
+        instance.clear_caches()
+    from repro.math.ntt import _bit_reverse_cached
+
+    _bit_reverse_cached.cache_clear()

@@ -5,8 +5,6 @@ from repro.core.system import (
     available_benchmarks,
     available_systems,
     cluster_named,
-    clear_run_cache,
-    run_benchmark,
 )
 
 __all__ = [
@@ -14,6 +12,4 @@ __all__ = [
     "available_benchmarks",
     "available_systems",
     "cluster_named",
-    "clear_run_cache",
-    "run_benchmark",
 ]

@@ -56,6 +56,11 @@ Commands
     rejections, per-cluster utilization, goodput); ``--validate``
     additionally checks the report against the checked-in schema.
     ``SCENARIO`` is a JSON file path or a builtin name (``--list``).
+``backend list``
+    Show the registered kernel providers (:mod:`repro.backend`), their
+    availability, and which one the environment resolves to.  ``run``
+    and ``perf run`` accept ``--backend NAME`` to select one; the
+    ``$REPRO_BACKEND`` environment variable sets the process default.
 """
 
 from __future__ import annotations
@@ -91,6 +96,9 @@ def build_parser():
                        help="deployment name (see `list`)")
     run_p.add_argument("-b", "--benchmark", default="resnet18")
     run_p.add_argument("--no-energy", action="store_true")
+    run_p.add_argument("--backend", default=None,
+                       help="kernel provider (see `backend list`; "
+                            "default: $REPRO_BACKEND or numpy)")
 
     bench_p = sub.add_parser(
         "bench", help="full paper grid via the parallel runtime")
@@ -165,6 +173,10 @@ def build_parser():
                           help="timed iterations per workload")
     perf_run.add_argument("--list", action="store_true",
                           help="list suite workloads and exit")
+    perf_run.add_argument("--backend", default=None,
+                          help="kernel provider timing the suite (see "
+                               "`backend list`); non-default providers "
+                               "get '@NAME'-suffixed workload labels")
 
     perf_cmp = perf_sub.add_parser(
         "compare", help="compare two reports; nonzero exit on regression")
@@ -216,6 +228,13 @@ def build_parser():
     serve_p.add_argument("--validate", action="store_true",
                          help="check the report against the checked-in "
                               "schema (nonzero exit on violation)")
+
+    backend_p = sub.add_parser(
+        "backend", help="kernel-provider registry (repro.backend)")
+    backend_sub = backend_p.add_subparsers(dest="backend_command",
+                                           required=True)
+    backend_sub.add_parser(
+        "list", help="show registered providers and availability")
     return parser
 
 
@@ -226,7 +245,7 @@ def _cmd_list(_args, out):
 
 
 def _cmd_run(args, out):
-    system = HydraSystem.named(args.system)
+    system = HydraSystem.named(args.system, backend=args.backend)
     result = system.run(args.benchmark, with_energy=not args.no_energy)
     out(f"{args.benchmark} on {args.system} "
         f"({system.total_cards} cards)")
@@ -533,7 +552,8 @@ def _cmd_perf(args, out):
                    else DEFAULT_REPEATS)
         try:
             report = run_suite(names=args.workloads, warmup=warmup,
-                               repeats=repeats, progress=out)
+                               repeats=repeats, progress=out,
+                               backend=args.backend)
         except KeyError as exc:
             out(f"error: {exc.args[0]}")
             return 2
@@ -610,6 +630,19 @@ def _cmd_serve(args, out):
     return 0
 
 
+def _cmd_backend(args, out):
+    from repro.backend import available_backends, default_backend_name
+
+    default = default_backend_name()
+    out(f"{'name':12s} {'available':10s} detail")
+    for name, (ok, detail) in available_backends().items():
+        marker = " *" if name == default else ""
+        out(f"{name:12s} {'yes' if ok else 'no':10s} {detail}{marker}")
+    out(f"default: {default} "
+        f"(override with --backend or $REPRO_BACKEND)")
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
@@ -623,6 +656,7 @@ _COMMANDS = {
     "perf": _cmd_perf,
     "validate-ops": _cmd_validate_ops,
     "serve": _cmd_serve,
+    "backend": _cmd_backend,
 }
 
 

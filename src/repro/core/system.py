@@ -18,14 +18,16 @@ modelled quantity never serve each other's results.  By default all
 ``HydraSystem`` instances share the process-wide
 :func:`repro.runtime.default_cache`; pass ``cache=`` to isolate, or use
 :class:`repro.runtime.DiskCache` for persistence across processes.
+``backend=`` selects the kernel provider (:mod:`repro.backend`) and is
+part of the cache key.
 
-The old module-level helpers ``run_benchmark`` / ``clear_run_cache``
-remain as deprecated shims; new code should use :mod:`repro.runtime`.
+The pre-runtime module-level helpers ``run_benchmark`` /
+``clear_run_cache`` were removed in 1.2.0; use
+``HydraSystem.named(name).run(...)`` and
+``repro.runtime.default_cache().clear()``.
 """
 
 from __future__ import annotations
-
-import warnings
 
 from repro.baselines.fab import FAB_L, FAB_M, FAB_S
 from repro.baselines.poseidon import POSEIDON
@@ -40,8 +42,6 @@ __all__ = [
     "available_benchmarks",
     "available_systems",
     "cluster_named",
-    "run_benchmark",
-    "clear_run_cache",
 ]
 
 _SYSTEMS = {
@@ -85,15 +85,23 @@ class HydraSystem:
     cache:
         A :class:`repro.runtime.RunCache` for results; None shares the
         process-wide :func:`repro.runtime.default_cache`.
+    backend:
+        Kernel-provider spec (name, instance, or None for the
+        environment default); resolved to its canonical name and folded
+        into every run key, so different backends never share cached
+        results.
     **planner_kwargs:
         Forwarded to :class:`~repro.sched.Planner` (``params``,
         ``calibration``, ``rounds``).
     """
 
-    def __init__(self, cluster, cache=None, **planner_kwargs):
+    def __init__(self, cluster, cache=None, backend=None, **planner_kwargs):
+        from repro.backend import resolve_backend_name
+
         self.cluster = cluster
         self.planner = Planner(cluster, **planner_kwargs)
         self.cache = default_cache() if cache is None else cache
+        self.backend = resolve_backend_name(backend)
 
     # ------------------------------------------------------------------
     # Prototype constructors (paper Section V-A)
@@ -145,6 +153,7 @@ class HydraSystem:
         return _run_key(
             self.cluster, planner.params, planner.calibration,
             planner.rounds, benchmark, with_energy, model=model,
+            backend=self.backend,
         )
 
     def run(self, benchmark, *, with_energy=True, use_cache=True):
@@ -169,38 +178,3 @@ class HydraSystem:
         if use_cache:
             self.cache.put(key, result)
         return result
-
-
-# ----------------------------------------------------------------------
-# Deprecated shims (pre-runtime API)
-# ----------------------------------------------------------------------
-
-
-def run_benchmark(benchmark, system_name, with_energy=True):
-    """Deprecated: run ``benchmark`` on the named deployment (cached).
-
-    Use ``repro.runtime.run_one(RunRequest(benchmark=..., system=...))``
-    or ``HydraSystem.named(name).run(benchmark)`` instead.
-    """
-    warnings.warn(
-        "run_benchmark() is deprecated; use repro.runtime.run_one("
-        "RunRequest(...)) or HydraSystem.named(...).run(...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return HydraSystem.named(system_name).run(benchmark,
-                                              with_energy=with_energy)
-
-
-def clear_run_cache():
-    """Deprecated: clear the process-wide default result cache.
-
-    Use ``repro.runtime.default_cache().clear()`` instead.
-    """
-    warnings.warn(
-        "clear_run_cache() is deprecated; use "
-        "repro.runtime.default_cache().clear()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    default_cache().clear()

@@ -25,9 +25,11 @@ long contiguous runs instead of SIMD-hostile strided pairs.
 :class:`NttKernel` runs the same network over a ``(limbs, N)`` stack of
 residue polynomials with per-limb moduli — the building block
 :class:`~repro.poly.RnsContext` uses to batch limb loops into single
-ndarray ops.  Twiddle tables are shared through the bounded
-:func:`get_ntt_context` / :func:`get_ntt_kernel` factories, so a
-(degree, modulus) pair is only ever tabulated once per process.
+ndarray ops.  Twiddle tables are shared through the
+:func:`get_ntt_context` / :func:`get_ntt_kernel` factories, which are
+**provider-scoped**: each :class:`repro.backend.KernelProvider` owns
+its own context/kernel caches, so a (degree, modulus) pair is only ever
+tabulated once per provider and backends never share cached tables.
 """
 
 from __future__ import annotations
@@ -105,13 +107,24 @@ class NttKernel:
     Inputs must hold residues in ``[0, q)`` per limb.  ``forward`` with
     ``reduce_output=False`` returns lazily-reduced values in ``[0, 2q)``
     (cheaper when the caller immediately multiplies pointwise and reduces).
+
+    ``contexts`` (keyword-only, optional) are the per-prime
+    :class:`NttContext` tables to stack; kernel providers pass their own
+    cached contexts here so backends never share twiddle tables.  When
+    omitted, tables come from the default provider's cache.
     """
 
-    def __init__(self, poly_degree: int, moduli):
+    def __init__(self, poly_degree: int, *, moduli, contexts=None):
         self.poly_degree = int(poly_degree)
         self.moduli = tuple(int(q) for q in moduli)
         n = self.poly_degree
-        contexts = [get_ntt_context(n, q) for q in self.moduli]
+        if contexts is None:
+            contexts = [get_ntt_context(n, q) for q in self.moduli]
+        elif len(contexts) != len(self.moduli):
+            raise ValueError(
+                f"{len(contexts)} contexts given for "
+                f"{len(self.moduli)} moduli"
+            )
         self._psi = np.stack([c._psi_rev for c in contexts])
         self._psi_inv = np.stack([c._psi_inv_rev for c in contexts])
         q = np.array(self.moduli, dtype=np.uint64)
@@ -153,6 +166,15 @@ class NttKernel:
 
     # ------------------------------------------------------------------
 
+    def _mulmod(self, x, y, q):
+        """Modular product hook: subclasses swap in faster datapaths.
+
+        Operands may be lazily reduced (``< 2q``); the result must be the
+        canonical residue in ``[0, q)`` so stage outputs stay
+        byte-identical across providers.
+        """
+        return x * y % q
+
     def forward(self, data: np.ndarray, reduce_output: bool = True):
         """Cooley-Tukey forward pass over a ``(limbs, N)`` stack."""
         limbs, n = data.shape
@@ -168,7 +190,7 @@ class NttKernel:
             u = blk[:, :, 0]
             v = blk[:, :, 1]
             uh = np.minimum(u, u - q2)          # exact reduce to [0, q)
-            vr = v * tw % q2                    # v < 2q, tw < q: fits u64
+            vr = self._mulmod(v, tw, q2)        # v < 2q, tw < q: fits u64
             blk[:, :, 0] = uh + vr              # < 2q
             blk[:, :, 1] = uh + (q2 - vr)       # < 2q
             m *= 2
@@ -187,7 +209,7 @@ class NttKernel:
             u = blk[:, :, 0]
             v = blk[:, :, 1]
             uh = np.minimum(u, u - q3)
-            vr = v * tw % q3
+            vr = self._mulmod(v, tw, q3)
             blk[:, :, 0] = uh + vr
             blk[:, :, 1] = uh + (q3 - vr)
         return c_arr.transpose(0, 2, 1).copy().reshape(limbs, n)
@@ -215,11 +237,11 @@ class NttKernel:
             v = blk[:, :, 1]
             uh = np.minimum(u, u - q2)
             vh = np.minimum(v, v - q2)
-            blk[:, :, 0] = uh + vh                      # < 2q
-            blk[:, :, 1] = (uh + q2 - vh) * tw % q2     # < q
+            blk[:, :, 0] = uh + vh                          # < 2q
+            blk[:, :, 1] = self._mulmod(uh + q2 - vh, tw, q2)  # < q
             t *= 2
             m //= 2
-        return a * self._n_inv % self._q1
+        return self._mulmod(a, self._n_inv, self._q1)
 
     def _inverse_transposed(self, a, limbs, n):
         m0 = n // _PHASE_SPLIT
@@ -232,7 +254,7 @@ class NttKernel:
             uh = np.minimum(u, u - q3)
             vh = np.minimum(v, v - q3)
             blk[:, :, 0] = uh + vh
-            blk[:, :, 1] = (uh + q3 - vh) * tw % q3
+            blk[:, :, 1] = self._mulmod(uh + q3 - vh, tw, q3)
         return c_arr.transpose(0, 2, 1).copy().reshape(limbs, n)
 
     def negacyclic_multiply(self, a: np.ndarray, b: np.ndarray):
@@ -240,7 +262,7 @@ class NttKernel:
         fa = self.forward(a, reduce_output=False)
         fb = self.forward(b, reduce_output=False)
         # fa, fb < 2q < 2**32, so the pointwise product fits in uint64.
-        return self.inverse(fa * fb % self._q1)
+        return self.inverse(self._mulmod(fa, fb, self._q1))
 
 
 class NttContext:
@@ -251,10 +273,15 @@ class NttContext:
     convolution, which is exactly the CKKS ring product.
 
     Prefer :func:`get_ntt_context` over direct construction — contexts are
-    immutable, and the factory shares twiddle tables process-wide.
+    immutable, and the factory shares twiddle tables per provider.
+
+    ``provider`` (keyword-only, optional) is the
+    :class:`repro.backend.KernelProvider` that owns this context; when
+    set, the :attr:`kernel` property builds its single-limb kernel
+    through that provider so the kernel class matches the backend.
     """
 
-    def __init__(self, poly_degree: int, modulus: int):
+    def __init__(self, poly_degree: int, *, modulus: int, provider=None):
         if poly_degree < 2 or poly_degree & (poly_degree - 1):
             raise ValueError(
                 f"poly_degree must be a power of two >= 2, got {poly_degree}"
@@ -279,13 +306,21 @@ class NttContext:
         self._psi_inv_rev.setflags(write=False)
         self._degree_inv = np.uint64(mod_inverse(poly_degree, modulus))
         self._q = np.uint64(modulus)
+        self._provider = provider
         self._kernel = None
 
     @property
     def kernel(self) -> NttKernel:
-        """The single-limb :class:`NttKernel` running this transform."""
+        """The single-limb kernel running this transform (provider-built)."""
         if self._kernel is None:
-            self._kernel = NttKernel(self.poly_degree, (self.modulus,))
+            if self._provider is not None:
+                self._kernel = self._provider.get_kernel(
+                    self.poly_degree, (self.modulus,)
+                )
+            else:
+                self._kernel = NttKernel(
+                    self.poly_degree, moduli=(self.modulus,), contexts=(self,)
+                )
         return self._kernel
 
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
@@ -322,26 +357,39 @@ class NttContext:
         return arr
 
 
-@lru_cache(maxsize=128)
-def get_ntt_context(poly_degree: int, modulus: int) -> NttContext:
-    """Shared, bounded factory for :class:`NttContext` instances.
+def get_ntt_context(
+    poly_degree: int, modulus: int, backend=None
+) -> NttContext:
+    """Provider-scoped factory for :class:`NttContext` instances.
 
     Twiddle-table construction is ``O(N)`` big-int work; before this
     factory every :class:`~repro.poly.RnsContext` rebuilt the tables for
-    every prime.  Two lookups with the same ``(degree, modulus)`` return
-    the *same* object.
+    every prime.  Two lookups with the same ``(degree, modulus)`` on the
+    same provider return the *same* object; distinct providers never
+    share tables (``backend`` resolves per :mod:`repro.backend`
+    precedence when ``None``).
     """
-    return NttContext(int(poly_degree), int(modulus))
+    from repro.backend import resolve_backend
+
+    return resolve_backend(backend).get_context(
+        int(poly_degree), int(modulus)
+    )
 
 
-@lru_cache(maxsize=64)
-def get_ntt_kernel(poly_degree: int, moduli: tuple) -> NttKernel:
-    """Shared, bounded factory for stacked :class:`NttKernel` instances."""
-    return NttKernel(int(poly_degree), tuple(int(q) for q in moduli))
+def get_ntt_kernel(poly_degree: int, moduli: tuple, backend=None):
+    """Provider-scoped factory for stacked :class:`NttKernel` instances."""
+    from repro.backend import resolve_backend
+
+    return resolve_backend(backend).get_kernel(
+        int(poly_degree), tuple(int(q) for q in moduli)
+    )
 
 
 def clear_ntt_caches() -> None:
-    """Drop all memoized contexts, kernels and permutations (tests only)."""
-    get_ntt_context.cache_clear()
-    get_ntt_kernel.cache_clear()
-    _bit_reverse_cached.cache_clear()
+    """Drop every provider's memoized contexts/kernels + permutations.
+
+    Alias of :func:`repro.backend.clear_caches` (tests only).
+    """
+    from repro.backend import clear_caches
+
+    clear_caches()

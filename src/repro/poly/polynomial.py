@@ -8,6 +8,11 @@ pass per limb chunk, not a Python loop per limb), and rescale/mod-down use
 per-basis constant columns memoized on the context.  Polynomials are value
 objects: every operation returns a new polynomial; in-place mutation is
 never exposed.
+
+Element-wise arithmetic (add/sub/negate/scalar-multiply/automorphism)
+dispatches through the context's kernel provider
+(:class:`repro.backend.KernelProvider`), the same seam the NTT kernels
+use, so a backend can accelerate the whole hot path.
 """
 
 from __future__ import annotations
@@ -164,21 +169,21 @@ class RnsPoly:
         """Return ``self + other``."""
         self._check_compatible(other)
         q = self._moduli_column()
-        s = self.data + other.data
-        return RnsPoly(self.context, np.minimum(s, s - q), self.basis)
+        out = self.context.backend.rns_add(self.data, other.data, q)
+        return RnsPoly(self.context, out, self.basis)
 
     def sub(self, other):
         """Return ``self - other``."""
         self._check_compatible(other)
         q = self._moduli_column()
-        d = self.data + (q - other.data)
-        return RnsPoly(self.context, np.minimum(d, d - q), self.basis)
+        out = self.context.backend.rns_sub(self.data, other.data, q)
+        return RnsPoly(self.context, out, self.basis)
 
     def negate(self):
         """Return ``-self``."""
         q = self._moduli_column()
-        d = q - self.data
-        return RnsPoly(self.context, np.minimum(d, d - q), self.basis)
+        out = self.context.backend.rns_negate(self.data, q)
+        return RnsPoly(self.context, out, self.basis)
 
     def multiply(self, other):
         """Negacyclic product ``self * other`` (limb-batched NTT multiply)."""
@@ -196,7 +201,8 @@ class RnsPoly:
             [scalar % self.context.moduli[idx] for idx in self.basis],
             dtype=np.uint64,
         )[:, None]
-        return RnsPoly(self.context, self.data * s_col % q, self.basis)
+        out = self.context.backend.rns_scalar_mul(self.data, s_col, q)
+        return RnsPoly(self.context, out, self.basis)
 
     # ------------------------------------------------------------------
     # Automorphisms (rotations / conjugation)
@@ -215,10 +221,9 @@ class RnsPoly:
             raise ValueError(f"galois element must be odd, got {galois_element}")
         dest, flip = _automorphism_maps(n, g)
         q = self._moduli_column()
-        neg = q - self.data
-        src = np.where(flip[None, :], np.minimum(neg, neg - q), self.data)
-        out = np.empty_like(self.data)
-        out[:, dest] = src
+        out = self.context.backend.rns_automorphism(
+            self.data, dest, flip, q
+        )
         return RnsPoly(self.context, out, self.basis)
 
     # ------------------------------------------------------------------

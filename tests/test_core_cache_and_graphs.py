@@ -6,17 +6,16 @@ from repro.core import (
     HydraSystem,
     available_benchmarks,
     available_systems,
-    clear_run_cache,
 )
 from repro.models import ModelGraph, Step, resnet18
+from repro.runtime import default_cache
 
 
 class TestRunCache:
-    def test_clear_run_cache(self):
+    def test_clear_default_cache(self):
         sys_m = HydraSystem.hydra_s()
         first = sys_m.run("resnet18", with_energy=False)
-        with pytest.deprecated_call():
-            clear_run_cache()
+        default_cache().clear()
         second = sys_m.run("resnet18", with_energy=False)
         assert second is not first
         assert second.total_seconds == pytest.approx(first.total_seconds)

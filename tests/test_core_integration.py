@@ -7,26 +7,24 @@ Exact numbers live in EXPERIMENTS.md; these tests keep the shape locked.
 
 import pytest
 
-from repro.core import HydraSystem, run_benchmark
+from repro.core import HydraSystem
 
 
 @pytest.fixture(scope="module")
 def r18():
-    with pytest.deprecated_call():
-        return {
-            name: run_benchmark("resnet18", name)
-            for name in ("Hydra-S", "Hydra-M", "Hydra-L", "FAB-S", "FAB-M",
-                         "Poseidon")
-        }
+    return {
+        name: HydraSystem.named(name).run("resnet18")
+        for name in ("Hydra-S", "Hydra-M", "Hydra-L", "FAB-S", "FAB-M",
+                     "Poseidon")
+    }
 
 
 @pytest.fixture(scope="module")
 def bert():
-    with pytest.deprecated_call():
-        return {
-            name: run_benchmark("bert_base", name)
-            for name in ("Hydra-S", "Hydra-M", "Hydra-L", "FAB-M")
-        }
+    return {
+        name: HydraSystem.named(name).run("bert_base")
+        for name in ("Hydra-S", "Hydra-M", "Hydra-L", "FAB-M")
+    }
 
 
 class TestSingleCardAnchors:
@@ -82,8 +80,7 @@ class TestCommunicationOverhead:
                 > r18["Hydra-M"].comm_overhead_fraction)
 
     def test_opt_comm_overhead_tiny_on_hydra_m(self):
-        with pytest.deprecated_call():
-            r = run_benchmark("opt_6_7b", "Hydra-M")
+        r = HydraSystem.named("Hydra-M").run("opt_6_7b")
         # Paper: 0.04% on Hydra-M; allow up to 2%.
         assert r.comm_overhead_fraction < 0.02
 
@@ -126,8 +123,7 @@ class TestSystemFacade:
             HydraSystem.hydra_s().run("alexnet")
 
     def test_run_cache(self, r18):
-        with pytest.deprecated_call():
-            again = run_benchmark("resnet18", "Hydra-S")
+        again = HydraSystem.named("Hydra-S").run("resnet18")
         assert again is r18["Hydra-S"]
 
     def test_procedure_spans_sum_to_total(self, r18):

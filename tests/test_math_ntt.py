@@ -34,14 +34,14 @@ class TestNttRoundTrip:
     @pytest.mark.parametrize("degree", [16, 64, 256, 1024])
     def test_inverse_of_forward(self, degree):
         q = find_ntt_primes(degree, 28, 1)[0]
-        ctx = NttContext(degree, q)
+        ctx = NttContext(degree, modulus=q)
         rng = np.random.default_rng(degree)
         a = rng.integers(0, q, degree, dtype=np.uint64)
         assert np.array_equal(ctx.inverse(ctx.forward(a)), a)
 
     def test_forward_of_inverse(self):
         degree, q = 128, find_ntt_primes(128, 28, 1)[0]
-        ctx = NttContext(degree, q)
+        ctx = NttContext(degree, modulus=q)
         rng = np.random.default_rng(7)
         a = rng.integers(0, q, degree, dtype=np.uint64)
         assert np.array_equal(ctx.forward(ctx.inverse(a)), a)
@@ -51,7 +51,7 @@ class TestNegacyclicMultiply:
     @pytest.mark.parametrize("degree", [16, 128])
     def test_matches_schoolbook(self, degree):
         q = find_ntt_primes(degree, 28, 1)[0]
-        ctx = NttContext(degree, q)
+        ctx = NttContext(degree, modulus=q)
         rng = np.random.default_rng(degree + 1)
         a = rng.integers(0, q, degree, dtype=np.uint64)
         b = rng.integers(0, q, degree, dtype=np.uint64)
@@ -62,7 +62,7 @@ class TestNegacyclicMultiply:
         """X^(N/2) * X^(N/2) = X^N = -1 in the negacyclic ring."""
         degree = 64
         q = find_ntt_primes(degree, 28, 1)[0]
-        ctx = NttContext(degree, q)
+        ctx = NttContext(degree, modulus=q)
         half = np.zeros(degree, dtype=np.uint64)
         half[degree // 2] = 1
         prod = ctx.negacyclic_multiply(half, half)
@@ -73,7 +73,7 @@ class TestNegacyclicMultiply:
     def test_multiplication_by_one(self):
         degree = 32
         q = find_ntt_primes(degree, 28, 1)[0]
-        ctx = NttContext(degree, q)
+        ctx = NttContext(degree, modulus=q)
         one = np.zeros(degree, dtype=np.uint64)
         one[0] = 1
         rng = np.random.default_rng(3)
@@ -84,14 +84,14 @@ class TestNegacyclicMultiply:
 class TestNttValidation:
     def test_rejects_unfriendly_modulus(self):
         with pytest.raises(ValueError):
-            NttContext(64, 17)  # 17 != 1 mod 128
+            NttContext(64, modulus=17)  # 17 != 1 mod 128
 
     def test_rejects_oversized_modulus(self):
         with pytest.raises(ValueError):
-            NttContext(64, (1 << 33) + 1)
+            NttContext(64, modulus=(1 << 33) + 1)
 
     def test_rejects_wrong_shape(self):
         q = find_ntt_primes(64, 28, 1)[0]
-        ctx = NttContext(64, q)
+        ctx = NttContext(64, modulus=q)
         with pytest.raises(ValueError):
             ctx.forward(np.zeros(32, dtype=np.uint64))

@@ -69,7 +69,7 @@ class TestNttProperties:
         seed = data.draw(st.integers(0, 2 ** 31))
         rng = np.random.default_rng(seed)
         a = rng.integers(0, q, n, dtype=np.uint64)
-        ctx = NttContext(n, q)
+        ctx = NttContext(n, modulus=q)
         assert np.array_equal(ctx.inverse(ctx.forward(a)), a)
 
     @given(st.integers(0, 2 ** 31), st.integers(0, 2 ** 31))
@@ -77,7 +77,7 @@ class TestNttProperties:
     def test_transform_is_linear(self, s1, s2):
         n = 64
         q = _PRIMES[n]
-        ctx = NttContext(n, q)
+        ctx = NttContext(n, modulus=q)
         a = np.random.default_rng(s1).integers(0, q, n, dtype=np.uint64)
         b = np.random.default_rng(s2).integers(0, q, n, dtype=np.uint64)
         lhs = ctx.forward((a + b) % np.uint64(q))
@@ -89,7 +89,7 @@ class TestNttProperties:
     def test_multiplication_commutes(self, s1, s2):
         n = 64
         q = _PRIMES[n]
-        ctx = NttContext(n, q)
+        ctx = NttContext(n, modulus=q)
         a = np.random.default_rng(s1).integers(0, q, n, dtype=np.uint64)
         b = np.random.default_rng(s2).integers(0, q, n, dtype=np.uint64)
         assert np.array_equal(

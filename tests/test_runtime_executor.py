@@ -238,25 +238,14 @@ class TestCli:
         assert serial.text == parallel.text
 
 
-class TestDeprecatedShims:
-    def test_run_benchmark_warns_but_works(self):
-        from repro.core import run_benchmark
+class TestRemovedShims:
+    def test_pre_runtime_helpers_are_gone(self):
+        import repro
+        import repro.core
 
-        with pytest.warns(DeprecationWarning):
-            result = run_benchmark("resnet18", "Hydra-S",
-                                   with_energy=False)
-        assert result.model_name == "resnet18"
-
-    def test_clear_run_cache_warns_and_clears_default(self):
-        from repro.core import HydraSystem, clear_run_cache
-
-        system = HydraSystem.hydra_s()
-        first = system.run("resnet18", with_energy=False)
-        with pytest.warns(DeprecationWarning):
-            clear_run_cache()
-        second = system.run("resnet18", with_energy=False)
-        assert second is not first
-        assert second.total_seconds == first.total_seconds
+        assert not hasattr(repro.core, "run_benchmark")
+        assert not hasattr(repro.core, "clear_run_cache")
+        assert not hasattr(repro, "run_benchmark")
 
     def test_run_is_keyword_only_after_benchmark(self):
         from repro.core import HydraSystem
