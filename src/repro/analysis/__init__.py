@@ -1,13 +1,14 @@
 """Analysis and reporting: the Table I census and table rendering."""
 
 from repro.analysis.gantt import render_gantt, trace_summary
-from repro.analysis.ophist import op_histogram
+from repro.analysis.ophist import level_histogram, op_histogram
 from repro.analysis.parallelism import parallelism_census, PAPER_TABLE1
 from repro.analysis.tables import format_table
 
 __all__ = [
     "PAPER_TABLE1",
     "format_table",
+    "level_histogram",
     "op_histogram",
     "parallelism_census",
     "render_gantt",

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.ir import CANONICAL_ORDER
 
-__all__ = ["op_histogram"]
+__all__ = ["level_histogram", "op_histogram"]
 
 
 def op_histogram(node_ops, max_rows=None):
@@ -40,5 +40,50 @@ def op_histogram(node_ops, max_rows=None):
     if max_rows is not None and len(rows) > max_rows:
         rows = rows[:max_rows]
         rows.append(["..."] + ["" for _ in ops])
+    rows.append(["total"] + totals)
+    return headers, rows
+
+
+def level_histogram(node_ops, max_rows=None):
+    """Tabulate op counts by ciphertext *level* across all cards.
+
+    The level-consumption histogram is the noise-budget analogue of a
+    memory profile: each rescale drops a ciphertext one level, so the
+    distribution of work over levels shows how deep into the modulus
+    chain a model computes and where bootstrapping pressure concentrates.
+
+    Returns ``(headers, rows)`` like :func:`op_histogram` but keyed by
+    level (fresh levels first; level-less entries under ``"-"``), with a
+    final ``"total"`` line.  Returns ``([], [])`` when no card carried a
+    trace.
+    """
+    present = [t for t in node_ops if t is not None]
+    if not present:
+        return [], []
+    merged = {}
+    for trace in present:
+        for (op, level), count in trace.items():
+            key = (op, level)
+            merged[key] = merged.get(key, 0) + count
+    ops = [op for op in CANONICAL_ORDER
+           if any(o is op for o, _ in merged)]
+    levels = sorted({lvl for _, lvl in merged if lvl is not None},
+                    reverse=True)
+    if any(lvl is None for _, lvl in merged):
+        levels = levels + [None]
+    headers = ["Level"] + [op.value for op in ops]
+    rows = []
+    totals = [0] * len(ops)
+    for level in levels:
+        row = [merged.get((op, level), 0) for op in ops]
+        totals = [a + b for a, b in zip(totals, row)]
+        rows.append(["-" if level is None else level] + row)
+    if max_rows is not None and len(rows) > max_rows:
+        dropped = rows[max_rows:]
+        rows = rows[:max_rows]
+        folded = [0] * len(ops)
+        for row in dropped:
+            folded = [a + (b or 0) for a, b in zip(folded, row[1:])]
+        rows.append(["..."] + folded)
     rows.append(["total"] + totals)
     return headers, rows

@@ -265,6 +265,8 @@ class Bootstrapper:
                 f"bootstrap did not gain levels: {ct.level} -> "
                 f"{refreshed.level}; increase num_scale_moduli"
             )
+        _metric_inc("ckks.bootstrap.levels_recovered",
+                    refreshed.level - ct.level)
         # Re-anchor the bookkeeping scale to the canonical scale: the slot
         # values are already the refreshed message.
         return Ciphertext(

@@ -9,15 +9,24 @@ the one the paper's Table I counts.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.ckks.ciphertext import Ciphertext, Plaintext
 from repro.ir import FheOp, record_op
+from repro.obs.metrics import inc as _metric_inc
+from repro.obs.metrics import observe as _metric_observe
 from repro.poly import RnsPoly
 
 __all__ = ["Evaluator"]
 
 _SCALE_RTOL = 1e-6
+
+#: Histogram buckets for post-rescale scale magnitudes, in log2 units.
+#: CKKS scales live around ``2**40``; anything in the bottom bucket has
+#: collapsed toward 1 and is about to lose the message to rounding.
+_SCALE_LOG2_BUCKETS = tuple(float(b) for b in range(0, 121, 10))
 
 
 class Evaluator:
@@ -148,13 +157,28 @@ class Evaluator:
         return self.multiply(ct, ct, relin_key)
 
     def rescale(self, ct: Ciphertext) -> Ciphertext:
-        """Divide by the last modulus, dropping one level (Rescale)."""
+        """Divide by the last modulus, dropping one level (Rescale).
+
+        Noise-budget telemetry: every rescale observes the *resulting*
+        scale (log2) into ``ckks.rescale.scale_log2`` and bumps
+        ``ckks.scale.underflow`` when the scale collapses below 1 —
+        at that point the encoded message has been rounded away and
+        decryption returns garbage, so serving pipelines treat the
+        counter as a hard red flag.
+        """
         record_op(FheOp.RESCALE, level=ct.level)
         q_last = self.context.rns.moduli[ct.basis[-1]]
+        new_scale = ct.scale / q_last
+        _metric_observe("ckks.rescale.scale_log2",
+                        math.log2(new_scale) if new_scale > 0 else 0.0,
+                        buckets=_SCALE_LOG2_BUCKETS,
+                        level=ct.level - 1)
+        if new_scale < 1.0:
+            _metric_inc("ckks.scale.underflow", level=ct.level - 1)
         return Ciphertext(
             c0=ct.c0.rescale_by_last(),
             c1=ct.c1.rescale_by_last(),
-            scale=ct.scale / q_last,
+            scale=new_scale,
         )
 
     def multiply_and_rescale(self, ct_a, ct_b, relin_key) -> Ciphertext:

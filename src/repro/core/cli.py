@@ -47,15 +47,21 @@ Commands
     ``--perturb OP`` deliberately breaks one modeled count to prove the
     gate fails loudly.
 ``serve SCENARIO [--duration S] [--seed N] [--fleet NAME] [--dispatch M]
-[--policy P] [--jobs N] [--json] [--out FILE] [--validate] [--list]``
+[--policy P] [--jobs N] [--backend B] [--exact] [--json] [--out FILE]
+[--telemetry-out DIR] [--validate] [--list]``
     Multi-tenant serving simulation (see :mod:`repro.serve`): seeded
     open-loop arrivals per tenant, a bounded admission queue with the
     scenario's policy, batch coalescing, and fleet dispatch with
     pipelined cluster occupancy.  Emits the deterministic
-    ``repro.serve/v1`` SLO report (per-tenant p50/p95/p99, queue depth,
-    rejections, per-cluster utilization, goodput); ``--validate``
-    additionally checks the report against the checked-in schema.
-    ``SCENARIO`` is a JSON file path or a builtin name (``--list``).
+    ``repro.serve/v2`` streaming SLO report (per-tenant p50/p95/p99
+    within a documented error bound, windowed rate/latency/burn-rate
+    series, queue depth, per-cluster utilization, goodput);
+    ``--telemetry-out DIR`` additionally writes ``report.json`` +
+    ``metrics.prom`` (Prometheus text exposition) + ``events.jsonl``
+    (flight-recorder ring); ``--validate`` checks the report against
+    the checked-in schema; ``--exact`` switches to unbounded exact
+    aggregation.  ``SCENARIO`` is a JSON file path or a builtin name
+    (``--list``).
 ``backend list``
     Show the registered kernel providers (:mod:`repro.backend`), their
     availability, and which one the environment resolves to.  ``run``
@@ -69,6 +75,7 @@ import argparse
 
 from repro.analysis import (
     format_table,
+    level_histogram,
     op_histogram,
     render_gantt,
     trace_summary,
@@ -221,10 +228,19 @@ def build_parser():
     serve_p.add_argument("--jobs", type=int, default=1,
                          help="worker processes for service-profile "
                               "planning (cache misses)")
+    serve_p.add_argument("--backend", default=None,
+                         help="kernel provider for service-profile "
+                              "planning (see `repro backend list`)")
+    serve_p.add_argument("--exact", action="store_true",
+                         help="exact (unbounded-memory) telemetry: "
+                              "exact quantiles + full queue-depth series")
     serve_p.add_argument("--json", action="store_true",
-                         help="emit the repro.serve/v1 report as JSON")
+                         help="emit the repro.serve/v2 report as JSON")
     serve_p.add_argument("--out", default=None,
                          help="write output to FILE instead of stdout")
+    serve_p.add_argument("--telemetry-out", default=None, metavar="DIR",
+                         help="write report.json + metrics.prom + "
+                              "events.jsonl into DIR")
     serve_p.add_argument("--validate", action="store_true",
                          help="check the report against the checked-in "
                               "schema (nonzero exit on violation)")
@@ -487,6 +503,13 @@ def _cmd_profile(args, out):
         out(format_table(headers, op_rows,
                          title="FHE op histogram by card",
                          float_fmt="{:.0f}"))
+    lvl_headers, lvl_rows = level_histogram(result.sim.node_ops,
+                                            max_rows=16)
+    if lvl_rows:
+        out("")
+        out(format_table(lvl_headers, lvl_rows,
+                         title="Level-consumption histogram",
+                         float_fmt="{:.0f}"))
     counters = registry.snapshot()["counters"]
     if counters:
         out("")
@@ -495,6 +518,12 @@ def _cmd_profile(args, out):
             for labels, value in series.items():
                 label = f"{{{labels}}}" if labels else ""
                 out(f"  {name}{label} = {value:g}")
+    underflows = sum(counters.get("ckks.scale.underflow", {}).values())
+    if underflows:
+        out("")
+        out(f"WARNING: ckks.scale.underflow fired {underflows:g} time(s) "
+            "- a rescale collapsed the scale below 1 and the message is "
+            "unrecoverable")
     if args.out:
         write_chrome_trace(args.out, sim_trace=trace, spans=recorder.spans)
         out(f"wrote {args.out}")
@@ -606,11 +635,13 @@ def _cmd_serve(args, out):
     if args.scenario is None:
         out("error: a scenario name/path is required (or use --list)")
         return 2
+    recorders = {}
     try:
         report, manifest = run_scenario(
             args.scenario, seed=args.seed, duration=args.duration,
             dispatch=args.dispatch, policy=args.policy, fleet=args.fleet,
-            jobs=args.jobs)
+            jobs=args.jobs, backend=args.backend, exact=args.exact,
+            recorders=recorders)
     except (OSError, ValueError, KeyError) as exc:
         out(f"error: {exc}")
         return 2
@@ -620,6 +651,11 @@ def _cmd_serve(args, out):
         except ValueError as exc:
             out(f"schema validation failed: {exc}")
             return 1
+    if args.telemetry_out:
+        from repro.serve import write_telemetry
+
+        for path in write_telemetry(report, recorders, args.telemetry_out):
+            out(f"wrote {path}")
     if args.json or args.out:
         _emit_json(report, out, args.out)
     else:

@@ -1,6 +1,6 @@
 """Unified observability: metrics, span tracing, trace export, reports.
 
-Four pieces, designed to compose:
+Seven pieces, designed to compose:
 
 * :mod:`repro.obs.metrics` — labeled counters / gauges / histograms on a
   swappable registry, with deterministic, mergeable snapshots that
@@ -10,7 +10,15 @@ Four pieces, designed to compose:
 * :mod:`repro.obs.chrome` — Chrome trace-event / Perfetto JSON export of
   simulation ``TraceEvent`` streams (cards as tracks) and host spans;
 * :mod:`repro.obs.report` — per-card compute/comm overlap and
-  utilization reports, quantifying the paper's Procedure 1/2 claim.
+  utilization reports, quantifying the paper's Procedure 1/2 claim;
+* :mod:`repro.obs.streaming` — bounded-memory streaming aggregators
+  (log-bucketed quantile histograms with a guaranteed relative-error
+  bound, windowed counters/rates, time-weighted gauges, and an interval
+  union that finalizes behind the simulation clock);
+* :mod:`repro.obs.flight` — a deterministic fixed-capacity flight
+  recorder of structured JSONL events, sized in events not horizon;
+* :mod:`repro.obs.prom` — dependency-free Prometheus text-exposition
+  rendering of registry snapshots and streaming aggregates.
 
 Typical use::
 
@@ -45,16 +53,33 @@ from repro.obs.metrics import (
     set_registry,
     use_registry,
 )
+from repro.obs.flight import FlightRecorder
+from repro.obs.prom import PromWriter, registry_to_prom
 from repro.obs.report import CardUtilization, OverlapReport, overlap_report
 from repro.obs.spans import Recorder, Span, current_recorder, span
+from repro.obs.streaming import (
+    StreamingHistogram,
+    StreamingIntervalUnion,
+    TimeWeightedValue,
+    TimeWeightedWindows,
+    WindowedCounter,
+    nearest_rank,
+)
 
 __all__ = [
     "DEFAULT_BUCKETS",
     "CardUtilization",
+    "FlightRecorder",
     "MetricsRegistry",
     "OverlapReport",
+    "PromWriter",
     "Recorder",
     "Span",
+    "StreamingHistogram",
+    "StreamingIntervalUnion",
+    "TimeWeightedValue",
+    "TimeWeightedWindows",
+    "WindowedCounter",
     "chrome_trace",
     "chrome_trace_json",
     "counter_totals",
@@ -62,8 +87,10 @@ __all__ = [
     "get_registry",
     "inc",
     "merge_snapshots",
+    "nearest_rank",
     "observe",
     "overlap_report",
+    "registry_to_prom",
     "set_gauge",
     "set_registry",
     "span",

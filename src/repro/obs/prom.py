@@ -1,0 +1,198 @@
+"""Dependency-free Prometheus text-exposition writer.
+
+Renders :class:`repro.obs.metrics.MetricsRegistry` snapshots (and the
+streaming aggregators from :mod:`repro.obs.streaming`) as Prometheus
+text exposition format v0.0.4 — ``# HELP`` / ``# TYPE`` headers,
+escaped label values, cumulative ``_bucket{le=...}`` series for
+histograms, and ``{quantile=...}`` series for summaries.  No client
+library is required; the output is plain text any Prometheus-compatible
+scraper or ``promtool`` can ingest.
+
+Rendering is deterministic: families are emitted in sorted metric-name
+order and series in sorted label order, so ``metrics.prom`` artifacts
+are byte-identical across reruns of a deterministic simulation.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["PromWriter", "registry_to_prom"]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _sanitize_name(name):
+    """Map repro metric names (dots, dashes) onto the prom charset."""
+    name = re.sub(r"[^a-zA-Z0-9_:]", "_", str(name))
+    if not name or not _NAME_OK.match(name):
+        name = "_" + name
+    return name
+
+
+def _sanitize_label(name):
+    name = re.sub(r"[^a-zA-Z0-9_]", "_", str(name))
+    if not name or not _LABEL_OK.match(name):
+        name = "_" + name
+    return name
+
+
+def _escape_value(value):
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_number(value):
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_fragment(labels):
+    if not labels:
+        return ""
+    parts = [
+        '%s="%s"' % (_sanitize_label(k), _escape_value(v))
+        for k, v in sorted(labels.items())
+    ]
+    return "{" + ",".join(parts) + "}"
+
+
+class PromWriter:
+    """Accumulates metric families and renders them as exposition text."""
+
+    def __init__(self):
+        # name -> {"type": str, "help": str, "samples": [(suffix, labels, value)]}
+        self._families = {}
+
+    def _family(self, name, kind, help_text):
+        name = _sanitize_name(name)
+        family = self._families.get(name)
+        if family is None:
+            family = {"type": kind, "help": help_text or "", "samples": []}
+            self._families[name] = family
+        elif family["type"] != kind:
+            raise ValueError(
+                "metric %r already registered as %s, not %s"
+                % (name, family["type"], kind)
+            )
+        return name, family
+
+    def counter(self, name, value, labels=None, help_text=""):
+        _, family = self._family(name, "counter", help_text)
+        family["samples"].append(("", dict(labels or {}), float(value)))
+        return self
+
+    def gauge(self, name, value, labels=None, help_text=""):
+        _, family = self._family(name, "gauge", help_text)
+        family["samples"].append(("", dict(labels or {}), float(value)))
+        return self
+
+    def summary(self, name, count, total, quantiles, labels=None, help_text=""):
+        """``quantiles`` maps q in (0, 1] -> observed value."""
+        _, family = self._family(name, "summary", help_text)
+        labels = dict(labels or {})
+        for q, value in sorted(quantiles.items()):
+            q_labels = dict(labels)
+            q_labels["quantile"] = _format_number(q)
+            family["samples"].append(("", q_labels, float(value)))
+        family["samples"].append(("_count", labels, float(count)))
+        family["samples"].append(("_sum", dict(labels), float(total)))
+        return self
+
+    def histogram(self, name, buckets, count, total, labels=None, help_text=""):
+        """``buckets`` maps upper bound -> count in that bucket (not cumulative)."""
+        _, family = self._family(name, "histogram", help_text)
+        labels = dict(labels or {})
+        cumulative = 0.0
+        for bound, bucket_count in sorted(buckets.items()):
+            cumulative += bucket_count
+            b_labels = dict(labels)
+            b_labels["le"] = _format_number(bound)
+            family["samples"].append(("_bucket", b_labels, cumulative))
+        inf_labels = dict(labels)
+        inf_labels["le"] = "+Inf"
+        family["samples"].append(("_bucket", inf_labels, float(count)))
+        family["samples"].append(("_count", labels, float(count)))
+        family["samples"].append(("_sum", dict(labels), float(total)))
+        return self
+
+    def render(self):
+        """Exposition text; families sorted by name, series by labels."""
+        lines = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family["help"]:
+                lines.append("# HELP %s %s" % (name, _escape_value(family["help"])))
+            lines.append("# TYPE %s %s" % (name, family["type"]))
+            samples = family["samples"]
+            if family["type"] in ("summary", "histogram"):
+                rendered = samples  # order is meaningful (quantile/le ladders)
+            else:
+                rendered = sorted(
+                    samples, key=lambda s: (s[0], sorted(s[1].items()))
+                )
+            for suffix, labels, value in rendered:
+                lines.append(
+                    "%s%s%s %s"
+                    % (name, suffix, _labels_fragment(labels), _format_number(value))
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _parse_label_key(key):
+    """Invert the registry's canonical ``k=v,k2=v2`` label encoding."""
+    if not key:
+        return {}
+    labels = {}
+    for part in key.split(","):
+        if "=" in part:
+            k, v = part.split("=", 1)
+            labels[k] = v
+    return labels
+
+
+def registry_to_prom(snapshot, writer=None, prefix="repro_"):
+    """Map a ``MetricsRegistry.snapshot()`` dict onto exposition text.
+
+    Counters become prom counters, gauges prom gauges, and histogram
+    entries prom histograms with the registry's fixed bucket bounds.
+    """
+    if writer is None:
+        writer = PromWriter()
+    for name, series in sorted(snapshot.get("counters", {}).items()):
+        for label_key, value in sorted(series.items()):
+            writer.counter(prefix + name, value, labels=_parse_label_key(label_key))
+    for name, series in sorted(snapshot.get("gauges", {}).items()):
+        for label_key, value in sorted(series.items()):
+            writer.gauge(prefix + name, value, labels=_parse_label_key(label_key))
+    for name, series in sorted(snapshot.get("histograms", {}).items()):
+        for label_key, hist in sorted(series.items()):
+            # Registry snapshots key buckets by the stringified upper
+            # bound ("1e-06" ... "+Inf"); counts are per-bucket, not
+            # cumulative, which is what PromWriter.histogram expects.
+            buckets = {}
+            for bound_key, count in hist.get("buckets", {}).items():
+                if bound_key == "+Inf":
+                    continue  # PromWriter derives +Inf from the total count
+                buckets[float(bound_key)] = float(count)
+            writer.histogram(
+                prefix + name,
+                buckets,
+                count=hist.get("count", 0),
+                total=hist.get("sum", 0.0),
+                labels=_parse_label_key(label_key),
+            )
+    return writer

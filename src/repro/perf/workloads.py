@@ -320,6 +320,29 @@ def _make_serve_workload():
     )
 
 
+def _run_serve_stream(state):
+    from repro.obs import FlightRecorder
+    from repro.serve import serve_prom_text, simulate_fleet
+    from repro.serve.report import build_report
+
+    scenario = state["scenario"]
+    recorder = FlightRecorder(scenario.telemetry.recorder_events)
+    fleet = simulate_fleet(scenario, "hydra-m", state["profiles"],
+                           recorder=recorder)
+    report = build_report(scenario, ["hydra-m"], {"hydra-m": fleet})
+    return serve_prom_text(report), recorder.to_jsonl()
+
+
+def _make_serve_stream_workload():
+    return PerfWorkload(
+        name="serve.stream.hydra_m",
+        description="serving DES + v2 report + Prometheus/JSONL export, "
+                    "1 h horizon",
+        setup=_serve_state,
+        run=_run_serve_stream,
+    )
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
@@ -333,6 +356,7 @@ def _build_suite():
     workloads.append(_make_bootstrap_workload())
     workloads.append(_make_sim_workload())
     workloads.append(_make_serve_workload())
+    workloads.append(_make_serve_stream_workload())
     return {w.name: w for w in workloads}
 
 

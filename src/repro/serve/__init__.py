@@ -8,9 +8,11 @@ simulated clock domain:
 
 * :mod:`repro.serve.scenario` — declarative scenario files: tenants
   (each bound to a model + CKKS parameter set + a seeded arrival
-  process), fleets of simulated clusters, queueing/batching knobs;
+  process), fleets of simulated clusters, queueing/batching/telemetry
+  knobs;
 * :mod:`repro.serve.arrivals` — deterministic open-loop request
-  generators (Poisson or fixed-spacing, seeded per tenant);
+  generators (Poisson or fixed-spacing, seeded per tenant, lazily
+  iterated so the event loop never materializes the horizon);
 * :mod:`repro.serve.queueing` — the admission front-end: bounded queues
   with explicit rejection and pluggable ordering policies (FIFO,
   per-tenant fair share, earliest-deadline-first);
@@ -20,12 +22,17 @@ simulated clock domain:
   clusters with *pipelined occupancy*: a cluster stages the next batch
   in while the previous one computes or drains;
 * :mod:`repro.serve.engine` — the event loop tying it together, plus
-  :func:`run_scenario`, the one-call entry point behind the CLI;
-* :mod:`repro.serve.report` — the deterministic SLO report (per-tenant
-  p50/p95/p99 latency, queue depth over time, rejection rate,
-  per-cluster utilization via :func:`repro.obs.overlap_report`,
-  goodput);
-* :mod:`repro.serve.schema` — the ``repro.serve/v1`` report schema and
+  :func:`run_scenario`, the one-call entry point behind the CLI; all
+  telemetry streams through the bounded aggregators of
+  :mod:`repro.obs.streaming` and a :class:`~repro.obs.FlightRecorder`
+  event ring, so memory is independent of the request horizon;
+* :mod:`repro.serve.report` — the deterministic ``repro.serve/v2`` SLO
+  report (per-tenant p50/p95/p99 latency within a documented error
+  bound, windowed rate/latency/utilization/burn-rate series, queue
+  depth, goodput);
+* :mod:`repro.serve.telemetry` — ``--telemetry-out`` artifact export:
+  Prometheus text exposition + flight-recorder JSONL + the report;
+* :mod:`repro.serve.schema` — the ``repro.serve/v2`` report schema and
   a dependency-free validator (the CI gate).
 
 Everything is bit-deterministic for a given scenario + seed: the same
@@ -34,7 +41,7 @@ planned serially, fanned out over ``--jobs N`` workers, or served from
 the persistent disk cache of a previous process.
 """
 
-from repro.serve.arrivals import generate_arrivals
+from repro.serve.arrivals import generate_arrivals, iter_arrivals
 from repro.serve.dispatch import ClusterState, ServiceProfile
 from repro.serve.engine import prepare_profiles, run_scenario, simulate_fleet
 from repro.serve.queueing import (
@@ -48,12 +55,14 @@ from repro.serve.scenario import (
     BatchConfig,
     Overheads,
     Scenario,
+    TelemetryConfig,
     TenantSpec,
     builtin_scenarios,
     load_scenario,
     resolve_fleet_cluster,
 )
 from repro.serve.schema import REPORT_SCHEMA_PATH, validate_serve_report
+from repro.serve.telemetry import serve_prom_text, write_telemetry
 
 __all__ = [
     "POLICIES",
@@ -65,9 +74,11 @@ __all__ = [
     "Request",
     "Scenario",
     "ServiceProfile",
+    "TelemetryConfig",
     "TenantSpec",
     "builtin_scenarios",
     "generate_arrivals",
+    "iter_arrivals",
     "load_scenario",
     "make_policy",
     "percentile",
@@ -75,6 +86,8 @@ __all__ = [
     "render_report",
     "resolve_fleet_cluster",
     "run_scenario",
+    "serve_prom_text",
     "simulate_fleet",
     "validate_serve_report",
+    "write_telemetry",
 ]

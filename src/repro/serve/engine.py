@@ -11,15 +11,34 @@ Event order is a strict total order — ``(time, priority, sequence)``
 with completions before arrivals before flush timers at equal
 timestamps and a deterministic sequence tie-break — so a scenario + seed
 fixes the entire execution trace.
+
+Telemetry is **streamed**: arrivals are generated lazily (one pending
+arrival per tenant in the heap), latencies fold into
+:class:`~repro.obs.StreamingHistogram` sketches, queue depth and
+cluster busy time accumulate time-weighted into fixed windows, and the
+last N structured events live in a bounded
+:class:`~repro.obs.FlightRecorder` ring — so peak engine memory is
+O(buckets × tenants + windows + queue), independent of the horizon.
+``exact=True`` (the CLI's ``--exact``) switches latency sketches to
+exact retention and keeps the full queue-depth series, for tests and
+short runs.
 """
 
 from __future__ import annotations
 
 import heapq
 
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry, inc as _metric_inc, use_registry
-from repro.serve.arrivals import generate_arrivals
-from repro.serve.dispatch import ClusterState, ServiceProfile
+from repro.obs.streaming import (
+    StreamingHistogram,
+    StreamingIntervalUnion,
+    TimeWeightedValue,
+    TimeWeightedWindows,
+    WindowedCounter,
+)
+from repro.serve.arrivals import iter_arrivals
+from repro.serve.dispatch import ClusterState
 from repro.serve.queueing import AdmissionQueue, Request, make_policy
 from repro.serve.report import build_fleet_report, build_report
 from repro.serve.scenario import (
@@ -28,7 +47,6 @@ from repro.serve.scenario import (
     params_preset,
     resolve_fleet_cluster,
 )
-from repro.sim.result import TraceEvent
 
 __all__ = ["prepare_profiles", "run_scenario", "simulate_fleet"]
 
@@ -46,19 +64,23 @@ def _ciphertext_bytes(params):
 
 
 def prepare_profiles(scenario, fleet_names=None, jobs=1, cache=None,
-                     use_cache=True):
+                     use_cache=True, backend=None):
     """Plan service profiles for every (batch key, cluster) pair.
 
     Distinct pairs become :class:`repro.runtime.RunRequest` instances
     executed through :func:`repro.runtime.execute` — deduplicated,
     fanned out over ``jobs`` workers, and served from the persistent
     result cache on repeat invocations — so a million-request scenario
-    plans each model exactly once per cluster shape.
+    plans each model exactly once per cluster shape.  ``backend``
+    selects the kernel provider used for planning and participates in
+    the cache fingerprint, exactly as ``repro run --backend`` does.
 
     Returns ``(profiles, manifest)`` where ``profiles`` maps
     ``(model, params_name, cluster_name) -> ServiceProfile``.
     """
     from repro.runtime import RunRequest, execute
+
+    from repro.serve.dispatch import ServiceProfile
 
     fleet_names = list(scenario.fleets if fleet_names is None
                        else fleet_names)
@@ -80,11 +102,13 @@ def prepare_profiles(scenario, fleet_names=None, jobs=1, cache=None,
                     request = RunRequest(benchmark=model,
                                          system=registry_name,
                                          with_energy=False,
-                                         params=run_params)
+                                         params=run_params,
+                                         backend=backend)
                 else:
                     request = RunRequest(benchmark=model, cluster=spec,
                                          with_energy=False,
-                                         params=run_params)
+                                         params=run_params,
+                                         backend=backend)
                 keys.append((profile_key, spec, params))
                 requests.append(request)
     outcome = execute(requests, jobs=jobs, cache=cache,
@@ -105,27 +129,59 @@ def prepare_profiles(scenario, fleet_names=None, jobs=1, cache=None,
 
 
 class _TenantStats:
-    __slots__ = ("arrivals", "rejected", "latencies", "deadline_misses")
+    """Per-tenant streamed counters, latency sketch, and window series."""
 
-    def __init__(self):
+    __slots__ = ("arrivals", "rejected", "deadline_misses", "latency",
+                 "arrivals_w", "rejections_w", "completions_w", "misses_w",
+                 "latency_sum_w")
+
+    def __init__(self, duration, num_windows, exact):
         self.arrivals = 0
         self.rejected = 0
-        self.latencies = []
         self.deadline_misses = 0
+        self.latency = StreamingHistogram(exact=exact)
+        self.arrivals_w = WindowedCounter(duration, num_windows)
+        self.rejections_w = WindowedCounter(duration, num_windows)
+        self.completions_w = WindowedCounter(duration, num_windows)
+        self.misses_w = WindowedCounter(duration, num_windows)
+        self.latency_sum_w = WindowedCounter(duration, num_windows)
+
+
+class _ClusterStats:
+    """Per-cluster streamed busy accounting.
+
+    Compute intervals on one cluster never overlap (``compute_free_at``
+    is monotonic), so a running sum equals their union; I/O intervals
+    (full-duplex ingress/egress) can overlap, so their union streams
+    through :class:`StreamingIntervalUnion` — commits at simulated time
+    ``now`` only schedule phases starting at or after ``now``, which is
+    exactly the monotonic-release precondition.
+    """
+
+    __slots__ = ("compute_busy", "io_union", "busy_w")
+
+    def __init__(self, duration, num_windows):
+        self.compute_busy = 0.0
+        self.io_union = StreamingIntervalUnion()
+        self.busy_w = TimeWeightedWindows(duration, num_windows)
 
 
 class _FleetEngine:
     """One fleet's discrete-event serving simulation."""
 
-    def __init__(self, scenario, fleet_name, profiles):
+    def __init__(self, scenario, fleet_name, profiles, exact=False,
+                 recorder=None):
         self.scenario = scenario
         self.fleet_name = fleet_name
         self.profiles = profiles
+        self.exact = bool(exact)
         self.tenants = {t.name: t for t in scenario.tenants}
         self.queue = AdmissionQueue(policy=make_policy(scenario.policy),
                                     max_queue=scenario.max_queue)
         self.clusters = []
         replica_counts = {}
+        duration = scenario.duration_seconds
+        num_windows = scenario.telemetry.num_windows
         for index, entry in enumerate(scenario.fleets[fleet_name]):
             _, spec = resolve_fleet_cluster(entry)
             replica = replica_counts.get(entry, 0)
@@ -134,12 +190,23 @@ class _FleetEngine:
                 index=index, name=entry, replica=replica, spec=spec,
                 mode=scenario.dispatch,
             ))
-        self.stats = {name: _TenantStats() for name in self.tenants}
-        self.trace = []
-        self.depth_series = [(0.0, 0)]
+        self.stats = {
+            name: _TenantStats(duration, num_windows, self.exact)
+            for name in self.tenants
+        }
+        self.cluster_stats = [_ClusterStats(duration, num_windows)
+                              for _ in self.clusters]
+        self.recorder = (recorder if recorder is not None
+                         else FlightRecorder(scenario.telemetry
+                                             .recorder_events))
+        self.depth = TimeWeightedValue(duration, num_windows)
+        self.depth_series = [(0.0, 0)] if self.exact else None
         self.heap = []
+        self._arrival_iters = {}
         self._seq = 0
         self._batch_ids = 0
+        self._request_ids = 0
+        self._slo_burned = set()
         self.last_completion = 0.0
 
     # -- event plumbing -------------------------------------------------
@@ -150,35 +217,51 @@ class _FleetEngine:
         self._seq += 1
 
     def _record_depth(self, now):
-        self.depth_series.append((now, len(self.queue)))
+        depth = len(self.queue)
+        self.depth.update(now, depth)
+        if self.depth_series is not None:
+            self.depth_series.append((now, depth))
 
     # -- setup ----------------------------------------------------------
 
+    def _push_next_arrival(self, tenant):
+        """Schedule the tenant's next arrival (one in flight per tenant)."""
+        t = next(self._arrival_iters[tenant.name], None)
+        if t is None:
+            return
+        deadline = (None if tenant.deadline_seconds is None
+                    else t + tenant.deadline_seconds)
+        request = Request(id=self._request_ids, tenant=tenant.name,
+                          batch_key=tenant.batch_key, arrival=t,
+                          deadline=deadline)
+        self._request_ids += 1
+        self._push(t, _P_ARRIVAL, self._on_arrival, (tenant, request))
+
     def seed_arrivals(self):
-        arrivals = []
-        for order, tenant in enumerate(self.scenario.tenants):
-            for t in generate_arrivals(tenant, self.scenario.seed,
-                                       self.scenario.duration_seconds):
-                arrivals.append((t, order, tenant))
-        arrivals.sort(key=lambda item: (item[0], item[1]))
-        for request_id, (t, _order, tenant) in enumerate(arrivals):
-            deadline = (None if tenant.deadline_seconds is None
-                        else t + tenant.deadline_seconds)
-            request = Request(id=request_id, tenant=tenant.name,
-                              batch_key=tenant.batch_key, arrival=t,
-                              deadline=deadline)
-            self._push(t, _P_ARRIVAL, self._on_arrival, request)
+        for tenant in self.scenario.tenants:
+            self._arrival_iters[tenant.name] = iter_arrivals(
+                tenant, self.scenario.seed,
+                self.scenario.duration_seconds)
+            self._push_next_arrival(tenant)
 
     # -- handlers -------------------------------------------------------
 
-    def _on_arrival(self, now, request):
+    def _on_arrival(self, now, payload):
+        tenant, request = payload
+        self._push_next_arrival(tenant)
         stats = self.stats[request.tenant]
         stats.arrivals += 1
+        stats.arrivals_w.add(now)
         _metric_inc("serve.arrivals", tenant=request.tenant)
         if not self.queue.offer(request):
             stats.rejected += 1
+            stats.rejections_w.add(now)
             _metric_inc("serve.rejected", tenant=request.tenant)
+            self.recorder.record("reject", now, tenant=request.tenant,
+                                 request=request.id)
             return
+        self.recorder.record("admit", now, tenant=request.tenant,
+                             request=request.id)
         self._record_depth(now)
         if self.scenario.batch.window_seconds > 0:
             self._push(now + self.scenario.batch.window_seconds,
@@ -189,17 +272,39 @@ class _FleetEngine:
         self._try_dispatch(now)
 
     def _on_complete(self, now, payload):
-        cluster, batch = payload
+        cluster, batch, batch_id = payload
         cluster.inflight -= 1
         for request in batch:
             stats = self.stats[request.tenant]
-            stats.latencies.append(now - request.arrival)
+            latency = now - request.arrival
+            stats.latency.add(latency)
+            stats.completions_w.add(now)
+            stats.latency_sum_w.add(now, latency)
             _metric_inc("serve.completed", tenant=request.tenant)
             if request.deadline is not None and now > request.deadline:
                 stats.deadline_misses += 1
+                stats.misses_w.add(now)
                 _metric_inc("serve.deadline_miss", tenant=request.tenant)
+                self._check_slo_burn(now, request, stats)
+        self.recorder.record("complete", now, batch=batch_id,
+                             cluster=cluster.label, size=len(batch))
         self.last_completion = max(self.last_completion, now)
         self._try_dispatch(now)
+
+    def _check_slo_burn(self, now, request, stats):
+        """Trigger the flight recorder when a tenant's budget burns out."""
+        tenant = self.tenants[request.tenant]
+        if request.tenant in self._slo_burned:
+            return
+        completed = stats.latency.count
+        if completed and (stats.deadline_misses / completed
+                          > tenant.slo_budget):
+            self._slo_burned.add(request.tenant)
+            self.recorder.trigger("slo_budget_exceeded", now,
+                                  tenant=request.tenant,
+                                  request=request.id,
+                                  misses=stats.deadline_misses,
+                                  completed=completed)
 
     # -- dispatch -------------------------------------------------------
 
@@ -232,24 +337,28 @@ class _FleetEngine:
             _metric_inc("serve.batches", cluster=cluster.label)
             _metric_inc("serve.batched_requests", len(batch),
                         cluster=cluster.label)
-            step = f"batch-{self._batch_ids:05d}"
+            batch_id = f"batch-{self._batch_ids:05d}"
             self._batch_ids += 1
+            stats = self.cluster_stats[cluster.index]
+            stats.compute_busy += (schedule.compute_end
+                                   - schedule.compute_start)
+            stats.busy_w.add_interval(schedule.compute_start,
+                                      schedule.compute_end)
             if schedule.ingress_end > schedule.ingress_start:
-                self.trace.append(TraceEvent(
-                    node=cluster.index, kind="recv", tag=model,
-                    start=schedule.ingress_start, end=schedule.ingress_end,
-                    step=step))
-            self.trace.append(TraceEvent(
-                node=cluster.index, kind="compute", tag=model,
-                start=schedule.compute_start, end=schedule.compute_end,
-                step=step))
+                stats.io_union.add(schedule.ingress_start,
+                                   schedule.ingress_end, now=now)
             if schedule.egress_end > schedule.egress_start:
-                self.trace.append(TraceEvent(
-                    node=cluster.index, kind="send", tag=model,
-                    start=schedule.egress_start, end=schedule.egress_end,
-                    step=step))
+                stats.io_union.add(schedule.egress_start,
+                                   schedule.egress_end, now=now)
+            self.recorder.record(
+                "coalesce", now, batch=batch_id, size=len(batch),
+                model=model,
+                requests=[r.id for r in batch])
+            self.recorder.record(
+                "dispatch", now, batch=batch_id, cluster=cluster.label,
+                completion=schedule.completion)
             self._push(schedule.completion, _P_COMPLETE,
-                       self._on_complete, (cluster, batch))
+                       self._on_complete, (cluster, batch, batch_id))
 
     # -- main loop ------------------------------------------------------
 
@@ -267,28 +376,37 @@ class _FleetEngine:
         return self
 
 
-def simulate_fleet(scenario, fleet_name, profiles):
+def simulate_fleet(scenario, fleet_name, profiles, exact=False,
+                   recorder=None):
     """Simulate one fleet; returns its deterministic report fragment.
 
     Runs under a fresh :class:`~repro.obs.MetricsRegistry` so the
     report's metric totals reflect exactly this fleet's activity.
+    Pass a :class:`~repro.obs.FlightRecorder` to retain the event ring
+    after the run (``run_scenario`` does, for ``--telemetry-out``).
     """
     registry = MetricsRegistry()
     with use_registry(registry):
-        engine = _FleetEngine(scenario, fleet_name, profiles).run()
+        engine = _FleetEngine(scenario, fleet_name, profiles,
+                              exact=exact, recorder=recorder).run()
     return build_fleet_report(engine, registry.snapshot())
 
 
 def run_scenario(ref, seed=None, duration=None, dispatch=None, policy=None,
-                 fleet=None, jobs=1, cache=None, use_cache=True):
+                 fleet=None, jobs=1, cache=None, use_cache=True,
+                 backend=None, exact=False, recorders=None):
     """Load, plan and simulate a scenario; returns ``(report, manifest)``.
 
     ``ref`` is a scenario path, a builtin scenario name, or an already
     constructed :class:`~repro.serve.scenario.Scenario`.  ``seed`` /
     ``duration`` / ``dispatch`` / ``policy`` override the scenario file;
-    ``fleet`` restricts the run to one named fleet.  ``jobs`` and
-    ``cache`` control service-profile planning through
-    :mod:`repro.runtime`; neither affects report bytes.
+    ``fleet`` restricts the run to one named fleet.  ``jobs``, ``cache``
+    and ``backend`` control service-profile planning through
+    :mod:`repro.runtime`; none affects report bytes (``backend`` affects
+    planned compute times, hence the report — but deterministically).
+    ``exact=True`` switches telemetry to exact (unbounded) aggregation;
+    ``recorders``, if given a dict, is filled with each fleet's
+    :class:`~repro.obs.FlightRecorder` for event dumps.
     """
     scenario = ref if isinstance(ref, Scenario) else load_scenario(ref)
     scenario = scenario.override(seed=seed, duration=duration,
@@ -303,9 +421,16 @@ def run_scenario(ref, seed=None, duration=None, dispatch=None, policy=None,
         fleet_names = [fleet]
     profiles, manifest = prepare_profiles(scenario, fleet_names,
                                           jobs=jobs, cache=cache,
-                                          use_cache=use_cache)
-    fleet_reports = {
-        name: simulate_fleet(scenario, name, profiles)
-        for name in fleet_names
-    }
-    return build_report(scenario, fleet_names, fleet_reports), manifest
+                                          use_cache=use_cache,
+                                          backend=backend)
+    fleet_reports = {}
+    for name in fleet_names:
+        recorder = FlightRecorder(scenario.telemetry.recorder_events)
+        if recorders is not None:
+            recorders[name] = recorder
+        fleet_reports[name] = simulate_fleet(scenario, name, profiles,
+                                             exact=exact,
+                                             recorder=recorder)
+    return (build_report(scenario, fleet_names, fleet_reports,
+                         exact=exact),
+            manifest)

@@ -1,4 +1,4 @@
-"""Deterministic SLO reports (``repro.serve/v1``).
+"""Deterministic SLO reports (``repro.serve/v2``).
 
 The report answers the questions the paper's serving claims raise:
 what latency distribution does each tenant see (p50/p95/p99), how deep
@@ -6,10 +6,18 @@ does the admission queue get, how much load is shed, how busy is each
 cluster, and what *goodput* — in-deadline completions per second — the
 fleet sustains.
 
-Per-cluster utilization reuses :func:`repro.obs.overlap_report` on the
-engine's batch-phase :class:`~repro.sim.result.TraceEvent` stream
-(ingress = recv, program = compute, egress = send), the same machinery
-``repro profile`` applies to card-level traces one clock domain below.
+v2 is the **streaming** schema: every aggregate is produced by the
+bounded-memory aggregators in :mod:`repro.obs.streaming` rather than by
+sorting accumulated samples, and each fleet fragment carries windowed
+time series — per-tenant arrival/rejection/completion rates and mean
+latency, per-cluster busy fraction, queue depth, and SLO burn-rate
+against each tenant's deadline budget — over
+``telemetry.num_windows`` aligned windows of ``[0, duration)``.
+Latency quantiles are nearest-rank within the documented
+``relative_accuracy`` bound (exact below the retention limit, or
+everywhere under ``--exact``); the v1 per-tenant latency lists and the
+unbounded queue-depth series are gone (``--exact`` restores a
+downsampled depth series for tests).
 
 All numbers are simulated-clock quantities; the only wall-clock data
 (planning time, cache hits) lives in the run manifest, which is
@@ -22,7 +30,11 @@ from __future__ import annotations
 import math
 
 from repro.analysis.tables import format_table
-from repro.obs.report import overlap_report
+from repro.obs.streaming import (
+    DEFAULT_EXACT_LIMIT,
+    DEFAULT_RELATIVE_ACCURACY,
+    nearest_rank,
+)
 
 __all__ = [
     "REPORT_SCHEMA",
@@ -32,59 +44,65 @@ __all__ = [
     "render_report",
 ]
 
-REPORT_SCHEMA = "repro.serve/v1"
+REPORT_SCHEMA = "repro.serve/v2"
 
-#: Queue-depth series entries kept in the report (downsampled beyond).
+#: Queue-depth series entries kept in an ``--exact`` report.
 _MAX_DEPTH_SAMPLES = 120
 
 
 def percentile(sorted_values, q):
     """Nearest-rank percentile of pre-sorted ``sorted_values``.
 
-    Deterministic (no interpolation) and exact for the small sample
-    counts a serving window produces; returns None on empty input.
+    Deterministic (no interpolation); returns None on empty input.
+    Kept as the serve-level alias of :func:`repro.obs.nearest_rank` —
+    the reference the streamed quantiles are tested against.
     """
-    if not sorted_values:
-        return None
-    if not 0 < q <= 100:
-        raise ValueError(f"percentile q must be in (0, 100], got {q}")
-    rank = math.ceil(q / 100.0 * len(sorted_values))
-    return sorted_values[rank - 1]
+    return nearest_rank(sorted_values, q)
 
 
-def _latency_summary(latencies):
-    ordered = sorted(latencies)
-    if not ordered:
-        return {"count": 0, "p50": None, "p95": None, "p99": None,
-                "mean": None, "max": None}
-    return {
-        "count": len(ordered),
-        "p50": percentile(ordered, 50),
-        "p95": percentile(ordered, 95),
-        "p99": percentile(ordered, 99),
-        "mean": sum(ordered) / len(ordered),
-        "max": ordered[-1],
-    }
-
-
-def _depth_summary(series, horizon):
-    """Max + time-weighted mean + downsampled queue-depth series."""
-    max_depth = max(depth for _, depth in series)
-    weighted = 0.0
-    for (t0, depth), (t1, _) in zip(series, series[1:]):
-        weighted += depth * (t1 - t0)
-    last_t, last_depth = series[-1]
-    if horizon > last_t:
-        weighted += last_depth * (horizon - last_t)
-    mean_depth = weighted / horizon if horizon > 0 else 0.0
+def _depth_series(series):
+    """Downsample the exact depth series to ``_MAX_DEPTH_SAMPLES``."""
     stride = max(1, math.ceil(len(series) / _MAX_DEPTH_SAMPLES))
     sampled = series[::stride]
     if sampled[-1] != series[-1]:
         sampled.append(series[-1])
+    return [[t, depth] for t, depth in sampled]
+
+
+def _tenant_windows(stats):
+    completions = stats.completions_w.counts()
+    latency_sums = stats.latency_sum_w.counts()
+    latency_mean = [
+        (latency_sums[i] / completions[i]) if completions[i] else None
+        for i in range(len(completions))
+    ]
     return {
-        "max_depth": max_depth,
-        "time_weighted_mean_depth": mean_depth,
-        "series": [[t, depth] for t, depth in sampled],
+        "arrival_rate": stats.arrivals_w.rates(),
+        "rejection_rate": stats.rejections_w.rates(),
+        "completion_rate": stats.completions_w.rates(),
+        "latency_mean": latency_mean,
+    }
+
+
+def _tenant_slo(tenant, stats):
+    """SLO burn against the tenant's deadline budget (None = no SLO)."""
+    if tenant.deadline_seconds is None:
+        return None
+    completed = stats.latency.count
+    miss_fraction = (stats.deadline_misses / completed) if completed else 0.0
+    completions = stats.completions_w.counts()
+    misses = stats.misses_w.counts()
+    burn_windows = [
+        ((misses[i] / completions[i]) / tenant.slo_budget
+         if completions[i] else None)
+        for i in range(len(completions))
+    ]
+    return {
+        "deadline_seconds": tenant.deadline_seconds,
+        "budget": tenant.slo_budget,
+        "miss_fraction": miss_fraction,
+        "burn_rate": miss_fraction / tenant.slo_budget,
+        "windows": {"burn_rate": burn_windows},
     }
 
 
@@ -92,14 +110,10 @@ def build_fleet_report(engine, metrics_snapshot):
     """Assemble one fleet's report fragment from a finished engine."""
     scenario = engine.scenario
     horizon = max(scenario.duration_seconds, engine.last_completion)
-    utilization = overlap_report(engine.trace, makespan=horizon)
-    util_by_node = {card.node: card for card in utilization.cards}
 
     clusters = []
-    for cluster in engine.clusters:
-        card = util_by_node.get(cluster.index)
-        compute_busy = card.compute_busy if card else 0.0
-        io_busy = card.comm_busy if card else 0.0
+    for cluster, stats in zip(engine.clusters, engine.cluster_stats):
+        compute_busy = stats.compute_busy
         clusters.append({
             "name": cluster.name,
             "replica": cluster.replica,
@@ -107,8 +121,9 @@ def build_fleet_report(engine, metrics_snapshot):
             "batches": cluster.batches,
             "requests": cluster.requests,
             "compute_busy_seconds": compute_busy,
-            "io_busy_seconds": io_busy,
+            "io_busy_seconds": stats.io_union.length,
             "utilization": compute_busy / horizon if horizon > 0 else 0.0,
+            "windows": {"busy_fraction": stats.busy_w.means()},
         })
 
     tenants = {}
@@ -117,7 +132,7 @@ def build_fleet_report(engine, metrics_snapshot):
     total_rejected = 0
     for name in sorted(engine.stats):
         stats = engine.stats[name]
-        completed = len(stats.latencies)
+        completed = stats.latency.count
         good = completed - stats.deadline_misses
         total_completed += completed
         total_good += good
@@ -128,27 +143,49 @@ def build_fleet_report(engine, metrics_snapshot):
             "completed": completed,
             "rejected": stats.rejected,
             "deadline_misses": stats.deadline_misses,
-            "latency_seconds": _latency_summary(stats.latencies),
+            "latency_seconds": stats.latency.summary(),
             "throughput_rps": completed / horizon,
             "goodput_rps": good / horizon,
+            "slo": _tenant_slo(engine.tenants[name], stats),
+            "windows": _tenant_windows(stats),
         }
 
+    engine.depth.finish(horizon)
+    queue = {
+        "rejected": total_rejected,
+        "max_depth": int(engine.depth.max_value),
+        "time_weighted_mean_depth": engine.depth.mean(horizon),
+        "windows": {"mean_depth": engine.depth.windows.means()},
+    }
+    if engine.depth_series is not None:
+        queue["series"] = _depth_series(engine.depth_series)
+
+    recorder = engine.recorder
+    first_trigger = recorder.first_trigger
     return {
         "makespan_seconds": horizon,
         "clusters": clusters,
         "tenants": tenants,
-        "queue": {
-            "rejected": total_rejected,
-            **_depth_summary(engine.depth_series, horizon),
-        },
+        "queue": queue,
         "throughput_rps": total_completed / horizon,
         "goodput_rps": total_good / horizon,
         "metrics": metrics_snapshot.get("counters", {}),
+        "flight_recorder": {
+            "capacity": recorder.capacity,
+            "recorded": recorder.total_recorded,
+            "dropped": recorder.dropped,
+            "first_trigger": (None if first_trigger is None else {
+                "reason": first_trigger[0],
+                "time": first_trigger[1],
+                "seq": first_trigger[2],
+            }),
+        },
     }
 
 
-def build_report(scenario, fleet_names, fleet_reports):
-    """The full ``repro.serve/v1`` document for one scenario run."""
+def build_report(scenario, fleet_names, fleet_reports, exact=False):
+    """The full ``repro.serve/v2`` document for one scenario run."""
+    telemetry = scenario.telemetry
     return {
         "schema": REPORT_SCHEMA,
         "scenario": scenario.name,
@@ -161,6 +198,15 @@ def build_report(scenario, fleet_names, fleet_reports):
             "max_requests": scenario.batch.max_requests,
             "window_seconds": scenario.batch.window_seconds,
         },
+        "telemetry": {
+            "mode": "exact" if exact else "streaming",
+            "relative_accuracy": DEFAULT_RELATIVE_ACCURACY,
+            "exact_limit": DEFAULT_EXACT_LIMIT,
+            "num_windows": telemetry.num_windows,
+            "window_seconds": (scenario.duration_seconds
+                               / telemetry.num_windows),
+            "recorder_events": telemetry.recorder_events,
+        },
         "fleets": {name: fleet_reports[name] for name in fleet_names},
     }
 
@@ -170,11 +216,16 @@ def _fmt_latency(value):
 
 
 def render_report(report):
-    """Human-readable rendering of a ``repro.serve/v1`` report."""
+    """Human-readable rendering of a ``repro.serve/v2`` report."""
+    telemetry = report["telemetry"]
     lines = [
         f"scenario {report['scenario']!r} — policy {report['policy']}, "
         f"dispatch {report['dispatch']}, seed {report['seed']}, "
         f"{report['duration_seconds']:g} s of simulated arrivals",
+        f"telemetry: {telemetry['mode']} "
+        f"({telemetry['num_windows']} windows x "
+        f"{telemetry['window_seconds']:g} s, quantile error <= "
+        f"{100 * telemetry['relative_accuracy']:g}%)",
     ]
     for fleet_name, fleet in report["fleets"].items():
         lines.append("")
@@ -187,16 +238,18 @@ def render_report(report):
         tenant_rows = []
         for name, t in fleet["tenants"].items():
             lat = t["latency_seconds"]
+            slo = t["slo"]
+            burn = "-" if slo is None else f"{slo['burn_rate']:.2f}"
             tenant_rows.append([
                 name, t["model"], t["arrivals"], t["completed"],
                 t["rejected"], t["deadline_misses"],
                 _fmt_latency(lat["p50"]), _fmt_latency(lat["p95"]),
                 _fmt_latency(lat["p99"]),
-                f"{t['goodput_rps']:.3f}",
+                f"{t['goodput_rps']:.3f}", burn,
             ])
         lines.append(format_table(
             ["Tenant", "Model", "Arr", "Done", "Rej", "Miss",
-             "p50 (s)", "p95 (s)", "p99 (s)", "Goodput"],
+             "p50 (s)", "p95 (s)", "p99 (s)", "Goodput", "Burn"],
             tenant_rows,
             title="Per-tenant SLO",
         ))
@@ -217,5 +270,14 @@ def render_report(report):
             f"queue: max depth {queue['max_depth']}, mean depth "
             f"{queue['time_weighted_mean_depth']:.2f}, rejected "
             f"{queue['rejected']}"
+        )
+        recorder = fleet["flight_recorder"]
+        trigger = recorder["first_trigger"]
+        trigger_text = ("none" if trigger is None else
+                        f"{trigger['reason']} at t={trigger['time']:.1f} s")
+        lines.append(
+            f"flight recorder: {recorder['recorded']} events "
+            f"({recorder['dropped']} evicted, ring of "
+            f"{recorder['capacity']}), first trigger: {trigger_text}"
         )
     return "\n".join(lines)

@@ -47,6 +47,7 @@ __all__ = [
     "BatchConfig",
     "Overheads",
     "Scenario",
+    "TelemetryConfig",
     "TenantSpec",
     "builtin_scenarios",
     "load_scenario",
@@ -118,6 +119,9 @@ class TenantSpec:
     deadline_seconds: float = None
     ciphertexts_in: int = 1
     ciphertexts_out: int = 1
+    #: fraction of completions allowed to miss the deadline before the
+    #: tenant's SLO burn-rate exceeds 1.0 (error-budget denominator)
+    slo_budget: float = 0.01
 
     def __post_init__(self):
         if self.process not in _ARRIVAL_PROCESSES:
@@ -136,6 +140,10 @@ class TenantSpec:
         if self.ciphertexts_in < 1 or self.ciphertexts_out < 0:
             raise ValueError(
                 f"tenant {self.name!r}: ciphertext counts out of range"
+            )
+        if not 0 < self.slo_budget <= 1:
+            raise ValueError(
+                f"tenant {self.name!r}: slo_budget must be in (0, 1]"
             )
         params_preset(self.params)  # fail fast on unknown presets
 
@@ -156,6 +164,7 @@ class TenantSpec:
             deadline_seconds=data.get("deadline_seconds"),
             ciphertexts_in=int(data.get("ciphertexts_in", 1)),
             ciphertexts_out=int(data.get("ciphertexts_out", 1)),
+            slo_budget=float(data.get("slo_budget", 0.01)),
         )
 
     def to_dict(self):
@@ -166,6 +175,7 @@ class TenantSpec:
             "arrival": {"process": self.process, "rate_rps": self.rate_rps},
             "ciphertexts_in": self.ciphertexts_in,
             "ciphertexts_out": self.ciphertexts_out,
+            "slo_budget": self.slo_budget,
         }
         if self.deadline_seconds is not None:
             doc["deadline_seconds"] = self.deadline_seconds
@@ -218,6 +228,26 @@ class Overheads:
 
 
 @dataclass(frozen=True)
+class TelemetryConfig:
+    """Streaming-telemetry sizing knobs (the report's memory bound).
+
+    ``num_windows`` fixes how many aligned time windows the report's
+    per-tenant/per-cluster series carry over ``[0, duration)`` — state
+    is ``O(num_windows)`` regardless of request count.
+    ``recorder_events`` sizes the flight-recorder ring (in events).
+    """
+
+    num_windows: int = 60
+    recorder_events: int = 512
+
+    def __post_init__(self):
+        if self.num_windows < 1:
+            raise ValueError("telemetry.num_windows must be >= 1")
+        if self.recorder_events < 1:
+            raise ValueError("telemetry.recorder_events must be >= 1")
+
+
+@dataclass(frozen=True)
 class Scenario:
     """One complete serving experiment description."""
 
@@ -231,6 +261,7 @@ class Scenario:
     max_queue: int = 64
     batch: BatchConfig = field(default_factory=BatchConfig)
     overheads: Overheads = field(default_factory=Overheads)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def __post_init__(self):
         if self.duration_seconds <= 0:
@@ -291,6 +322,7 @@ class Scenario:
             )
         batch = BatchConfig(**data.get("batch", {}))
         overheads = Overheads(**data.get("overheads", {}))
+        telemetry = TelemetryConfig(**data.get("telemetry", {}))
         fleets = {
             str(name): tuple(entries)
             for name, entries in data["fleets"].items()
@@ -309,6 +341,7 @@ class Scenario:
             max_queue=int(data.get("max_queue", 64)),
             batch=batch,
             overheads=overheads,
+            telemetry=telemetry,
         )
 
     def to_dict(self):
@@ -328,6 +361,10 @@ class Scenario:
                 "batch_setup_seconds": self.overheads.batch_setup_seconds,
                 "compute_per_extra_request":
                     self.overheads.compute_per_extra_request,
+            },
+            "telemetry": {
+                "num_windows": self.telemetry.num_windows,
+                "recorder_events": self.telemetry.recorder_events,
             },
             "fleets": {name: list(v) for name, v in self.fleets.items()},
             "tenants": [t.to_dict() for t in self.tenants],

@@ -1,4 +1,4 @@
-"""The ``repro.serve/v1`` report schema and a dependency-free validator.
+"""The ``repro.serve/v2`` report schema and a dependency-free validator.
 
 CI validates every emitted serving report against the checked-in schema
 file (``serve_report.schema.json``, committed next to this module)
@@ -18,7 +18,7 @@ from pathlib import Path
 
 __all__ = ["REPORT_SCHEMA_PATH", "load_schema", "validate_serve_report"]
 
-#: The checked-in schema file for ``repro.serve/v1`` reports.
+#: The checked-in schema file for ``repro.serve/v2`` reports.
 REPORT_SCHEMA_PATH = Path(__file__).resolve().parent / \
     "serve_report.schema.json"
 
@@ -84,7 +84,7 @@ def _validate(value, schema, path):
 
 
 def validate_serve_report(report, schema=None):
-    """Raise ``ValueError`` unless ``report`` matches the v1 schema.
+    """Raise ``ValueError`` unless ``report`` matches the v2 schema.
 
     ``schema`` may be a pre-loaded schema document or a path to one;
     None loads the packaged :data:`REPORT_SCHEMA_PATH`.  Returns the

@@ -73,6 +73,21 @@ class TestRescaleChain:
         assert ct.level == 0
         assert np.max(np.abs(toy_fhe.decrypt(ct) - expected)) < 2e-2
 
+    def test_scale_underflow_counter_fires(self, toy_fhe, rng):
+        """Rescaling without multiplying collapses the scale below 1;
+        the evaluator must count it and log the post-rescale scale."""
+        from repro.obs import MetricsRegistry, use_registry
+
+        ct = toy_fhe.encrypt(toy_fhe.random_vector(rng))
+        ev = toy_fhe.evaluator
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            ct = ev.rescale(ev.rescale(ct))
+        assert ct.scale < 1.0
+        snap = registry.snapshot()
+        assert sum(snap["counters"]["ckks.scale.underflow"].values()) >= 1
+        assert "ckks.rescale.scale_log2" in snap["histograms"]
+
     def test_rescale_at_level_zero_rejected(self, toy_fhe, rng):
         ct = toy_fhe.evaluator.drop_to_level(
             toy_fhe.encrypt(toy_fhe.random_vector(rng)), 0

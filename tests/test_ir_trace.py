@@ -235,3 +235,40 @@ class TestOpHistogram:
         from repro.analysis import op_histogram
 
         assert op_histogram([None, None]) == ([], [])
+
+
+class TestLevelHistogram:
+    def test_rows_keyed_by_level_fresh_first(self):
+        from repro.analysis import level_histogram
+
+        node_ops = [
+            OpTrace.single(FheOp.HADD, 2, level=3),
+            None,
+            (OpTrace.single(FheOp.HADD, 1, level=3)
+             + OpTrace.single(FheOp.ROTATION, 4, level=1)
+             + OpTrace.single(FheOp.CMULT, 5)),  # level-less
+        ]
+        headers, rows = level_histogram(node_ops)
+        assert headers == ["Level", "rotation", "cmult", "hadd"]
+        assert rows == [
+            [3, 0, 0, 3],
+            [1, 4, 0, 0],
+            ["-", 0, 5, 0],
+            ["total", 4, 5, 3],
+        ]
+
+    def test_max_rows_folds_the_tail(self):
+        from repro.analysis import level_histogram
+
+        node_ops = [OpTrace.single(FheOp.HADD, 1, level=lvl)
+                    for lvl in range(6)]
+        headers, rows = level_histogram(node_ops, max_rows=2)
+        assert rows[0] == [5, 1]
+        assert rows[1] == [4, 1]
+        assert rows[2] == ["...", 4]  # levels 3..0 folded, not dropped
+        assert rows[3] == ["total", 6]
+
+    def test_empty(self):
+        from repro.analysis import level_histogram
+
+        assert level_histogram([None]) == ([], [])

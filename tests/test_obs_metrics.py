@@ -106,6 +106,40 @@ class TestMerge:
         assert json.dumps(merge_snapshots([snap]), sort_keys=True) \
             == json.dumps(snap, sort_keys=True)
 
+    def test_merge_disjoint_label_sets(self):
+        # Same metric name, non-overlapping label keys: both series
+        # survive side by side, nothing sums across labels.
+        a = MetricsRegistry()
+        a.inc("ops", 2, tenant="a")
+        a.observe("h", 1.0, cluster="x")
+        b = MetricsRegistry()
+        b.inc("ops", 5, cluster="y")
+        b.observe("h", 3.0, tenant="b")
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"]["ops"] == {"tenant=a": 2, "cluster=y": 5}
+        hists = merged["histograms"]["h"]
+        assert set(hists) == {"cluster=x", "tenant=b"}
+        assert hists["cluster=x"]["count"] == 1
+        assert hists["tenant=b"]["count"] == 1
+
+    def test_merge_with_empty_snapshot_is_identity(self):
+        reg = MetricsRegistry()
+        reg.inc("n", 4)
+        reg.observe("h", 2.0)
+        snap = reg.snapshot()
+        empty = MetricsRegistry().snapshot()
+        for order in ([empty, snap], [snap, empty]):
+            assert json.dumps(merge_snapshots(order), sort_keys=True) \
+                == json.dumps(snap, sort_keys=True)
+
+    def test_merge_gauges_last_write_wins_across_snapshots(self):
+        a = MetricsRegistry()
+        a.set_gauge("depth", 1.0)
+        b = MetricsRegistry()
+        b.set_gauge("depth", 9.0)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["gauges"]["depth"][""] == 9.0
+
 
 class TestActiveRegistry:
     def test_use_registry_isolates(self):

@@ -153,6 +153,42 @@ class TestOverlapReport:
         assert report.overlap_fraction == 0.0
         assert "nothing to report" in report.render()
 
+    def test_card_with_one_empty_interval_set(self):
+        # A card that only communicates (or only computes): the empty
+        # side contributes zero busy, zero overlap — and a comm-free
+        # card reports overlap_fraction 0 rather than dividing by zero.
+        trace = [
+            TraceEvent(0, "send", "a", 0.0, 2.0),
+            TraceEvent(1, "compute", "a", 0.0, 3.0),
+        ]
+        report = overlap_report(trace, makespan=4.0)
+        comm_only, compute_only = report.cards
+        assert comm_only.compute_busy == 0.0
+        assert comm_only.overlap_seconds == 0.0
+        assert comm_only.overlap_fraction == 0.0
+        assert compute_only.comm_busy == 0.0
+        assert compute_only.overlap_fraction == 0.0
+        assert compute_only.idle_seconds == pytest.approx(1.0)
+
+    def test_zero_duration_spans_are_dropped(self):
+        trace = [
+            TraceEvent(0, "compute", "a", 1.0, 1.0),  # zero-width
+            TraceEvent(0, "compute", "a", 3.0, 2.0),  # inverted
+            TraceEvent(0, "send", "a", 0.0, 1.0),
+        ]
+        report = overlap_report(trace, makespan=2.0)
+        card = report.cards[0]
+        assert card.compute_busy == 0.0
+        assert card.comm_busy == pytest.approx(1.0)
+        assert card.overlap_seconds == 0.0
+        assert card.idle_seconds == pytest.approx(1.0)
+
+    def test_zero_makespan_utilization_is_zero(self):
+        trace = [TraceEvent(0, "compute", "a", 0.0, 0.0)]
+        report = overlap_report(trace, makespan=0.0)
+        assert report.cards[0].compute_utilization == 0.0
+        assert report.mean_compute_utilization == 0.0
+
     def test_render_and_to_dict(self):
         trace = [
             TraceEvent(0, "compute", "a", 0.0, 1.0),

@@ -38,6 +38,7 @@ EXPECTED_WORKLOADS = (
     "ckks.bootstrap.coeff_to_slot",
     "sim.hydra_s.resnet18_step",
     "serve.steady.hydra_m",
+    "serve.stream.hydra_m",
 )
 
 

@@ -42,12 +42,21 @@ def test_report_bytes_survive_jobs_and_restarts(tmp_path):
     # (pure cache-hit planning path).
     serial = _run_cli(tmp_path, "serial", [], cache_a)
     parallel = _run_cli(tmp_path, "jobs4", ["--jobs", "4"], cache_b)
-    warm = _run_cli(tmp_path, "warm", [], cache_a)
+    telem_dir = tmp_path / "telemetry"
+    warm = _run_cli(tmp_path, "warm",
+                    ["--telemetry-out", str(telem_dir)], cache_a)
     assert serial == parallel
     assert serial == warm
     report = json.loads(serial)
-    assert report["schema"] == "repro.serve/v1"
+    assert report["schema"] == "repro.serve/v2"
     assert report["fleets"]["hydra-m"]["tenants"]
+    # --telemetry-out landed the three artifacts alongside --out.
+    exported = json.loads((telem_dir / "report.json").read_bytes())
+    assert exported == report
+    assert "# TYPE" in (telem_dir / "metrics.prom").read_text()
+    events = (telem_dir / "events.jsonl").read_text().splitlines()
+    assert events
+    assert all(json.loads(line)["fleet"] == "hydra-m" for line in events)
 
 
 def test_run_scenario_in_process_determinism():

@@ -74,20 +74,11 @@ class TestEngine:
         a = simulate_fleet(scenario, "f", profiles)
         b = simulate_fleet(scenario, "f", profiles)
         assert a == b
-        wrapped = {
-            "schema": "repro.serve/v1",
-            "scenario": scenario.name,
-            "seed": scenario.seed,
-            "duration_seconds": scenario.duration_seconds,
-            "policy": scenario.policy,
-            "dispatch": scenario.dispatch,
-            "max_queue": scenario.max_queue,
-            "batch": {
-                "max_requests": scenario.batch.max_requests,
-                "window_seconds": scenario.batch.window_seconds,
-            },
-            "fleets": {"f": a},
-        }
+        from repro.serve.report import build_report
+
+        wrapped = build_report(scenario, ["f"], {"f": a})
+        assert wrapped["schema"] == "repro.serve/v2"
+        assert wrapped["telemetry"]["mode"] == "streaming"
         validate_serve_report(wrapped)
 
     def test_overload_rejects_and_misses_deadlines(self):
