@@ -48,20 +48,37 @@ Commands
     gate fails loudly.
 ``serve SCENARIO [--duration S] [--seed N] [--fleet NAME] [--dispatch M]
 [--policy P] [--jobs N] [--backend B] [--exact] [--json] [--out FILE]
-[--telemetry-out DIR] [--validate] [--list]``
+[--telemetry-out DIR] [--validate] [--list] [--validate-scenarios]``
     Multi-tenant serving simulation (see :mod:`repro.serve`): seeded
-    open-loop arrivals per tenant, a bounded admission queue with the
-    scenario's policy, batch coalescing, and fleet dispatch with
-    pipelined cluster occupancy.  Emits the deterministic
-    ``repro.serve/v2`` streaming SLO report (per-tenant p50/p95/p99
+    open-loop arrivals per tenant (Poisson, uniform, diurnal, flash
+    crowd, MMPP), a bounded admission queue with the scenario's policy,
+    batch coalescing, SLO-aware routing across heterogeneous fleets,
+    and autoscaled elastic replica pools.  Emits the deterministic
+    ``repro.serve/v3`` streaming SLO report (per-tenant p50/p95/p99
     within a documented error bound, windowed rate/latency/burn-rate
-    series, queue depth, per-cluster utilization, goodput);
+    series, queue depth, per-cluster utilization, goodput, card-second
+    fleet cost, scale-event timeline);
     ``--telemetry-out DIR`` additionally writes ``report.json`` +
     ``metrics.prom`` (Prometheus text exposition) + ``events.jsonl``
     (flight-recorder ring); ``--validate`` checks the report against
     the checked-in schema; ``--exact`` switches to unbounded exact
     aggregation.  ``SCENARIO`` is a JSON file path or a builtin name
-    (``--list``).
+    (``--list``).  ``--validate-scenarios`` lints every committed
+    scenario file (current schema version, full validation, to_dict
+    round-trip) and exits nonzero on any failure — the CI lint gate.
+``capacity SCENARIO [--shapes S ...] [--max-replicas N] [--jobs N]
+[--backend B] [--seed N] [--duration S] [--json] [--out FILE]
+[--validate] [--golden FILE]``
+    Capacity planning (see :mod:`repro.serve.capacity`): for each
+    candidate cluster shape, binary-search the smallest static replica
+    count that holds every SLO tenant's p99 under its deadline, its
+    miss fraction within the error budget, and sheds no load; pick the
+    cheapest feasible fleet by total cards.  Emits the deterministic
+    ``repro.capacity/v1`` plan — byte-identical across ``--jobs N``,
+    restarts, and warm caches.  ``--validate`` checks it against the
+    checked-in schema; ``--golden FILE`` exits nonzero when the chosen
+    fleet or any shape's search outcome differs from the committed
+    plan (the CI capacity gate).
 ``backend list``
     Show the registered kernel providers (:mod:`repro.backend`), their
     availability, and which one the environment resolves to.  ``run``
@@ -235,7 +252,7 @@ def build_parser():
                          help="exact (unbounded-memory) telemetry: "
                               "exact quantiles + full queue-depth series")
     serve_p.add_argument("--json", action="store_true",
-                         help="emit the repro.serve/v2 report as JSON")
+                         help="emit the repro.serve/v3 report as JSON")
     serve_p.add_argument("--out", default=None,
                          help="write output to FILE instead of stdout")
     serve_p.add_argument("--telemetry-out", default=None, metavar="DIR",
@@ -244,6 +261,44 @@ def build_parser():
     serve_p.add_argument("--validate", action="store_true",
                          help="check the report against the checked-in "
                               "schema (nonzero exit on violation)")
+    serve_p.add_argument("--validate-scenarios", action="store_true",
+                         help="lint every committed scenario file and "
+                              "exit (nonzero on any failure)")
+
+    capacity_p = sub.add_parser(
+        "capacity",
+        help="minimum-fleet capacity planning (repro.capacity/v1)")
+    capacity_p.add_argument("scenario",
+                            help="scenario JSON file or builtin name")
+    capacity_p.add_argument("--shapes", nargs="+", default=None,
+                            metavar="SHAPE",
+                            help="candidate cluster shapes (default: "
+                                 "Hydra-S Hydra-M Hydra-L)")
+    capacity_p.add_argument("--max-replicas", type=int, default=8,
+                            help="per-shape search ceiling (default 8)")
+    capacity_p.add_argument("--jobs", type=int, default=1,
+                            help="worker processes for service-profile "
+                                 "planning (cache misses)")
+    capacity_p.add_argument("--backend", default=None,
+                            help="kernel provider for service-profile "
+                                 "planning")
+    capacity_p.add_argument("--seed", type=int, default=None,
+                            help="override the scenario's RNG seed")
+    capacity_p.add_argument("--duration", type=float, default=None,
+                            help="override the scenario's arrival "
+                                 "window (s)")
+    capacity_p.add_argument("--json", action="store_true",
+                            help="emit the repro.capacity/v1 plan as "
+                                 "JSON")
+    capacity_p.add_argument("--out", default=None,
+                            help="write output to FILE instead of stdout")
+    capacity_p.add_argument("--validate", action="store_true",
+                            help="check the plan against the checked-in "
+                                 "schema (nonzero exit on violation)")
+    capacity_p.add_argument("--golden", default=None, metavar="FILE",
+                            help="gate against a committed golden plan: "
+                                 "exit nonzero when the chosen fleet or "
+                                 "any shape outcome differs")
 
     backend_p = sub.add_parser(
         "backend", help="kernel-provider registry (repro.backend)")
@@ -632,6 +687,19 @@ def _cmd_serve(args, out):
             out(f"{name:22s} fleets={len(scenario.fleets)} "
                 f"policy={scenario.policy} tenants=[{tenants}]")
         return 0
+    if args.validate_scenarios:
+        from repro.serve import validate_scenario_files
+
+        rows = validate_scenario_files()
+        failed = 0
+        for filename, error in rows:
+            if error is None:
+                out(f"ok    {filename}")
+            else:
+                failed += 1
+                out(f"FAIL  {filename}: {error}")
+        out(f"{len(rows) - failed}/{len(rows)} scenario files valid")
+        return 1 if failed else 0
     if args.scenario is None:
         out("error: a scenario name/path is required (or use --list)")
         return 2
@@ -666,6 +734,56 @@ def _cmd_serve(args, out):
     return 0
 
 
+def _cmd_capacity(args, out):
+    import json as _json
+
+    from repro.serve import (
+        compare_capacity_reports,
+        plan_capacity,
+        render_capacity_report,
+        validate_capacity_report,
+    )
+
+    try:
+        report, manifest = plan_capacity(
+            args.scenario, shapes=args.shapes,
+            max_replicas=args.max_replicas, jobs=args.jobs,
+            backend=args.backend, seed=args.seed,
+            duration=args.duration)
+    except (OSError, ValueError, KeyError) as exc:
+        out(f"error: {exc}")
+        return 2
+    if args.validate:
+        try:
+            validate_capacity_report(report)
+        except ValueError as exc:
+            out(f"schema validation failed: {exc}")
+            return 1
+    if args.json or args.out:
+        _emit_json(report, out, args.out)
+    else:
+        out(render_capacity_report(report))
+    if not args.json or args.out:
+        out(f"planning: {manifest.summary()}")
+    if args.golden:
+        try:
+            with open(args.golden, encoding="utf-8") as fh:
+                golden = _json.load(fh)
+        except (OSError, _json.JSONDecodeError) as exc:
+            out(f"error reading golden plan: {exc}")
+            return 2
+        diffs = compare_capacity_reports(report, golden)
+        if diffs:
+            out(f"capacity plan drifted from {args.golden}:")
+            for diff in diffs:
+                out(f"  {diff}")
+            out("re-run `repro capacity` and commit the new golden if "
+                "the change is intended")
+            return 1
+        out(f"capacity plan matches golden {args.golden}")
+    return 0
+
+
 def _cmd_backend(args, out):
     from repro.backend import available_backends, default_backend_name
 
@@ -692,6 +810,7 @@ _COMMANDS = {
     "perf": _cmd_perf,
     "validate-ops": _cmd_validate_ops,
     "serve": _cmd_serve,
+    "capacity": _cmd_capacity,
     "backend": _cmd_backend,
 }
 

@@ -19,21 +19,30 @@ simulated clock domain:
 * :mod:`repro.serve.dispatch` — service profiles (planned once per
   (model, params, cluster) through the :mod:`repro.runtime` cache) and
   the fleet dispatcher that extends the Procedure-2 contract across
-  clusters with *pipelined occupancy*: a cluster stages the next batch
-  in while the previous one computes or drains;
+  clusters with *pipelined occupancy* (a cluster stages the next batch
+  in while the previous one computes or drains) and SLO-aware routing
+  across heterogeneous shapes;
+* :mod:`repro.serve.autoscale` — pluggable elastic-scaling policies
+  (queue depth, SLO burn rate) with warm-up and hysteresis, driven by
+  the engine on a fixed simulated-time interval;
 * :mod:`repro.serve.engine` — the event loop tying it together, plus
   :func:`run_scenario`, the one-call entry point behind the CLI; all
   telemetry streams through the bounded aggregators of
   :mod:`repro.obs.streaming` and a :class:`~repro.obs.FlightRecorder`
   event ring, so memory is independent of the request horizon;
-* :mod:`repro.serve.report` — the deterministic ``repro.serve/v2`` SLO
+* :mod:`repro.serve.report` — the deterministic ``repro.serve/v3`` SLO
   report (per-tenant p50/p95/p99 latency within a documented error
   bound, windowed rate/latency/utilization/burn-rate series, queue
-  depth, goodput);
+  depth, goodput, card-second fleet cost, scale-event timelines);
+* :mod:`repro.serve.capacity` — ``repro capacity``: binary-search the
+  minimum (shape, replicas) fleet holding every tenant's SLO, emitted
+  as a deterministic ``repro.capacity/v1`` plan CI diffs against a
+  committed golden;
 * :mod:`repro.serve.telemetry` — ``--telemetry-out`` artifact export:
   Prometheus text exposition + flight-recorder JSONL + the report;
-* :mod:`repro.serve.schema` — the ``repro.serve/v2`` report schema and
-  a dependency-free validator (the CI gate).
+* :mod:`repro.serve.schema` — the ``repro.serve/v3`` report and
+  ``repro.capacity/v1`` plan schemas with a dependency-free validator
+  (the CI gate).
 
 Everything is bit-deterministic for a given scenario + seed: the same
 invocation produces byte-identical JSON whether service profiles are
@@ -42,7 +51,23 @@ the persistent disk cache of a previous process.
 """
 
 from repro.serve.arrivals import generate_arrivals, iter_arrivals
-from repro.serve.dispatch import ClusterState, ServiceProfile
+from repro.serve.autoscale import (
+    AUTOSCALE_POLICIES,
+    AutoscaleConfig,
+    Autoscaler,
+    make_autoscale_policy,
+)
+from repro.serve.capacity import (
+    compare_capacity_reports,
+    plan_capacity,
+    render_capacity_report,
+)
+from repro.serve.dispatch import (
+    ClusterState,
+    RoutingConfig,
+    ServiceProfile,
+    select_cluster,
+)
 from repro.serve.engine import prepare_profiles, run_scenario, simulate_fleet
 from repro.serve.queueing import (
     POLICIES,
@@ -60,34 +85,52 @@ from repro.serve.scenario import (
     builtin_scenarios,
     load_scenario,
     resolve_fleet_cluster,
+    validate_scenario_files,
 )
-from repro.serve.schema import REPORT_SCHEMA_PATH, validate_serve_report
+from repro.serve.schema import (
+    CAPACITY_SCHEMA_PATH,
+    REPORT_SCHEMA_PATH,
+    validate_capacity_report,
+    validate_serve_report,
+)
 from repro.serve.telemetry import serve_prom_text, write_telemetry
 
 __all__ = [
+    "AUTOSCALE_POLICIES",
+    "CAPACITY_SCHEMA_PATH",
     "POLICIES",
     "REPORT_SCHEMA_PATH",
     "AdmissionQueue",
+    "AutoscaleConfig",
+    "Autoscaler",
     "BatchConfig",
     "ClusterState",
     "Overheads",
     "Request",
+    "RoutingConfig",
     "Scenario",
     "ServiceProfile",
     "TelemetryConfig",
     "TenantSpec",
     "builtin_scenarios",
+    "compare_capacity_reports",
     "generate_arrivals",
     "iter_arrivals",
     "load_scenario",
+    "make_autoscale_policy",
     "make_policy",
     "percentile",
+    "plan_capacity",
     "prepare_profiles",
+    "render_capacity_report",
     "render_report",
     "resolve_fleet_cluster",
     "run_scenario",
+    "select_cluster",
     "serve_prom_text",
     "simulate_fleet",
+    "validate_capacity_report",
+    "validate_scenario_files",
     "validate_serve_report",
     "write_telemetry",
 ]

@@ -21,13 +21,43 @@ batch *k*'s compute, bounded by two batches in flight.  In
 occupies the cluster exclusively — the naive generalization of
 Procedure 2's per-step barrier to the fleet, kept as the comparison
 baseline.
+
+**Routing.** With several cluster shapes in one fleet the dispatcher
+must decide *which* free cluster serves a ripe batch:
+
+* ``greedy`` — earliest completion wins (the historical behavior):
+  every batch chases the fastest free cluster, so a big Hydra-L soaks
+  up small latency-insensitive work and stalls when a bootstrap-heavy
+  batch finally needs it;
+* ``slo`` — deadline-aware cost routing: a batch carrying a deadline
+  picks the **cheapest** (fewest-card) cluster that still completes
+  ``safety_margin_seconds`` before its tightest deadline, falling back
+  to earliest-completion when none can.  Latency-sensitive tenants
+  land on many small Hydra-S/M replicas while the Hydra-L stays free
+  for the heavy batches only it can serve — the workload-dependent
+  card-mix effect FAB and Osiris report.
+
+**Elastic lifecycle.** Autoscaled fleets add and retire replicas at
+simulated time: a replica is dispatchable from ``active_from`` (its
+warm-up deadline) until it is retired; a retired replica finishes its
+in-flight batches but accepts no new ones.  ``card_seconds`` integrates
+cards over each replica's active span — the fleet cost the capacity
+planner and the autoscale-vs-static comparisons minimize.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["BatchSchedule", "ClusterState", "ServiceProfile"]
+__all__ = [
+    "BatchSchedule",
+    "ClusterState",
+    "RoutingConfig",
+    "ServiceProfile",
+    "select_cluster",
+]
+
+_ROUTING_MODES = ("greedy", "slo")
 
 
 @dataclass(frozen=True)
@@ -64,6 +94,64 @@ class ServiceProfile:
 
 
 @dataclass(frozen=True)
+class RoutingConfig:
+    """The scenario's ``routing`` block (scenario schema v2)."""
+
+    mode: str = "greedy"
+    #: required slack between a routed batch's completion and its
+    #: tightest deadline before a cheaper cluster is considered safe
+    safety_margin_seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.mode not in _ROUTING_MODES:
+            raise ValueError(
+                f"unknown routing mode {self.mode!r}; "
+                f"choose from {_ROUTING_MODES}"
+            )
+        if self.safety_margin_seconds < 0:
+            raise ValueError(
+                "routing.safety_margin_seconds must be >= 0"
+            )
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            mode=data.get("mode", "greedy"),
+            safety_margin_seconds=float(
+                data.get("safety_margin_seconds", 0.0)),
+        )
+
+    def to_dict(self):
+        return {
+            "mode": self.mode,
+            "safety_margin_seconds": self.safety_margin_seconds,
+        }
+
+
+def select_cluster(plans, routing, tightest_deadline):
+    """Pick ``(schedule, cluster)`` from candidate plans.
+
+    ``plans`` is a non-empty list of ``(BatchSchedule, ClusterState)``
+    built in cluster-index order; ``tightest_deadline`` is the batch's
+    earliest absolute deadline (None when no member has one).  Greedy
+    routing — and every fallback — breaks completion-time ties on the
+    lower cluster index, so routing is a pure function of the plans.
+    """
+    if routing.mode == "slo" and tightest_deadline is not None:
+        margin = routing.safety_margin_seconds
+        feasible = [
+            (schedule, cluster) for schedule, cluster in plans
+            if schedule.completion <= tightest_deadline - margin
+        ]
+        if feasible:
+            return min(
+                feasible,
+                key=lambda pc: (pc[1].spec.total_cards,
+                                pc[0].completion, pc[1].index))
+    return min(plans, key=lambda pc: (pc[0].completion, pc[1].index))
+
+
+@dataclass(frozen=True)
 class BatchSchedule:
     """Resolved phase times of one dispatched batch on one cluster."""
 
@@ -97,10 +185,51 @@ class ClusterState:
     inflight: int = 0
     batches: int = 0
     requests: int = 0
+    #: elastic lifecycle: dispatchable from ``active_from`` (warm-up
+    #: deadline of a scaled-up replica) until retired; a retired
+    #: replica drains its in-flight batches but accepts no new ones
+    active_from: float = 0.0
+    retired_at: float = None
+    elastic: bool = False
+
+    def __post_init__(self):
+        # A cold replica's resources free up when its warm-up ends.
+        if self.active_from > 0.0:
+            self.in_free_at = max(self.in_free_at, self.active_from)
+            self.out_free_at = max(self.out_free_at, self.active_from)
+            self.compute_free_at = max(self.compute_free_at,
+                                       self.active_from)
 
     @property
     def label(self):
         return f"{self.name}#{self.replica}"
+
+    def available(self, now):
+        """True when the replica may accept a new batch at ``now``."""
+        return self.retired_at is None and self.active_from <= now + 1e-12
+
+    def retire(self, now):
+        self.retired_at = float(now)
+
+    def active_until(self, horizon):
+        """End of this replica's active (billed) span.
+
+        A retired replica is billed until the later of its retirement
+        and the drain of its committed batches; a live replica is
+        billed to the fleet horizon.  Replicas that never activated
+        inside the horizon bill zero.
+        """
+        if self.retired_at is None:
+            end = horizon
+        else:
+            end = max(self.retired_at, self.compute_free_at,
+                      self.out_free_at)
+        return max(end, self.active_from)
+
+    def card_seconds(self, horizon):
+        """Cards integrated over the replica's active span."""
+        span = self.active_until(horizon) - self.active_from
+        return self.spec.total_cards * max(0.0, span)
 
     @property
     def inflight_limit(self):

@@ -38,7 +38,8 @@ from repro.obs.streaming import (
     WindowedCounter,
 )
 from repro.serve.arrivals import iter_arrivals
-from repro.serve.dispatch import ClusterState
+from repro.serve.autoscale import Autoscaler
+from repro.serve.dispatch import ClusterState, select_cluster
 from repro.serve.queueing import AdmissionQueue, Request, make_policy
 from repro.serve.report import build_fleet_report, build_report
 from repro.serve.scenario import (
@@ -51,8 +52,9 @@ from repro.serve.scenario import (
 __all__ = ["prepare_profiles", "run_scenario", "simulate_fleet"]
 
 # Same-timestamp event priorities: free cluster slots first, then admit
-# new arrivals, then fire batch-window flushes.
-_P_COMPLETE, _P_ARRIVAL, _P_FLUSH = 0, 1, 2
+# new arrivals, then batch-window flushes, then autoscaler evaluations
+# (so a tick observes the queue after same-instant admissions).
+_P_COMPLETE, _P_ARRIVAL, _P_FLUSH, _P_AUTOSCALE = 0, 1, 2, 3
 
 
 def _ciphertext_bytes(params):
@@ -89,7 +91,12 @@ def prepare_profiles(scenario, fleet_names=None, jobs=1, cache=None,
     seen = set()
     batch_keys = sorted({t.batch_key for t in scenario.tenants})
     for fleet in fleet_names:
-        for entry in scenario.fleets[fleet]:
+        entries = list(scenario.fleets[fleet])
+        if (scenario.autoscale is not None
+                and scenario.autoscale.applies_to(fleet)):
+            # Elastic replicas need service profiles too.
+            entries.append(scenario.autoscale.cluster)
+        for entry in entries:
             registry_name, spec = resolve_fleet_cluster(entry)
             for model, params_name in batch_keys:
                 profile_key = (model, params_name, entry)
@@ -179,23 +186,27 @@ class _FleetEngine:
         self.queue = AdmissionQueue(policy=make_policy(scenario.policy),
                                     max_queue=scenario.max_queue)
         self.clusters = []
-        replica_counts = {}
+        self.cluster_stats = []
+        self._replica_counts = {}
         duration = scenario.duration_seconds
         num_windows = scenario.telemetry.num_windows
-        for index, entry in enumerate(scenario.fleets[fleet_name]):
-            _, spec = resolve_fleet_cluster(entry)
-            replica = replica_counts.get(entry, 0)
-            replica_counts[entry] = replica + 1
-            self.clusters.append(ClusterState(
-                index=index, name=entry, replica=replica, spec=spec,
-                mode=scenario.dispatch,
-            ))
+        for entry in scenario.fleets[fleet_name]:
+            self._add_cluster(entry, active_from=0.0, elastic=False)
+        autoscale = scenario.autoscale
+        if autoscale is not None and autoscale.applies_to(fleet_name):
+            self.autoscaler = Autoscaler(autoscale, scenario.tenants)
+            for _ in range(autoscale.min_replicas):
+                self._add_cluster(autoscale.cluster, active_from=0.0,
+                                  elastic=True)
+        else:
+            self.autoscaler = None
+        self.initial_replicas = sum(1 for c in self.clusters if c.elastic)
+        self.peak_replicas = self.initial_replicas
+        self.scale_events = []
         self.stats = {
             name: _TenantStats(duration, num_windows, self.exact)
             for name in self.tenants
         }
-        self.cluster_stats = [_ClusterStats(duration, num_windows)
-                              for _ in self.clusters]
         self.recorder = (recorder if recorder is not None
                          else FlightRecorder(scenario.telemetry
                                              .recorder_events))
@@ -208,6 +219,29 @@ class _FleetEngine:
         self._request_ids = 0
         self._slo_burned = set()
         self.last_completion = 0.0
+
+    # -- cluster pool ---------------------------------------------------
+
+    def _add_cluster(self, entry, active_from, elastic):
+        """Append one cluster replica (static at init, or scaled up)."""
+        _, spec = resolve_fleet_cluster(entry)
+        replica = self._replica_counts.get(entry, 0)
+        self._replica_counts[entry] = replica + 1
+        cluster = ClusterState(
+            index=len(self.clusters), name=entry, replica=replica,
+            spec=spec, mode=self.scenario.dispatch,
+            active_from=active_from, elastic=elastic,
+        )
+        self.clusters.append(cluster)
+        self.cluster_stats.append(_ClusterStats(
+            self.scenario.duration_seconds,
+            self.scenario.telemetry.num_windows))
+        return cluster
+
+    def _active_elastic(self):
+        """Non-retired elastic replicas, in creation order."""
+        return [c for c in self.clusters
+                if c.elastic and c.retired_at is None]
 
     # -- event plumbing -------------------------------------------------
 
@@ -243,6 +277,13 @@ class _FleetEngine:
                 tenant, self.scenario.seed,
                 self.scenario.duration_seconds)
             self._push_next_arrival(tenant)
+
+    def seed_autoscaler(self):
+        if self.autoscaler is None:
+            return
+        interval = self.autoscaler.config.evaluation_interval_seconds
+        if interval <= self.scenario.duration_seconds:
+            self._push(interval, _P_AUTOSCALE, self._on_autoscale, None)
 
     # -- handlers -------------------------------------------------------
 
@@ -281,15 +322,85 @@ class _FleetEngine:
             stats.completions_w.add(now)
             stats.latency_sum_w.add(now, latency)
             _metric_inc("serve.completed", tenant=request.tenant)
-            if request.deadline is not None and now > request.deadline:
+            missed = (request.deadline is not None
+                      and now > request.deadline)
+            if missed:
                 stats.deadline_misses += 1
                 stats.misses_w.add(now)
                 _metric_inc("serve.deadline_miss", tenant=request.tenant)
                 self._check_slo_burn(now, request, stats)
+            if self.autoscaler is not None:
+                self.autoscaler.observe_completion(request.tenant,
+                                                   latency, missed)
         self.recorder.record("complete", now, batch=batch_id,
                              cluster=cluster.label, size=len(batch))
         self.last_completion = max(self.last_completion, now)
         self._try_dispatch(now)
+
+    # -- autoscaling ----------------------------------------------------
+
+    def _on_autoscale(self, now, _payload):
+        config = self.autoscaler.config
+        active = self._active_elastic()
+        delta, signal = self.autoscaler.evaluate(
+            now, len(self.queue), len(active))
+        target = max(config.min_replicas,
+                     min(config.max_replicas, len(active) + delta))
+        applied = target - len(active)
+        if applied > 0:
+            self._scale_up(now, applied, signal)
+        elif applied < 0:
+            self._scale_down(now, -applied, signal)
+        next_tick = now + config.evaluation_interval_seconds
+        if next_tick <= self.scenario.duration_seconds:
+            self._push(next_tick, _P_AUTOSCALE, self._on_autoscale, None)
+
+    def _scale_up(self, now, count, signal):
+        config = self.autoscaler.config
+        ready_at = now + config.warmup_seconds
+        labels = []
+        for _ in range(count):
+            cluster = self._add_cluster(config.cluster,
+                                        active_from=ready_at,
+                                        elastic=True)
+            labels.append(cluster.label)
+        self.autoscaler.note_scaled(now)
+        self.peak_replicas = max(self.peak_replicas,
+                                 len(self._active_elastic()))
+        _metric_inc("serve.scale_up", count)
+        self.recorder.trigger("scale_up", now, policy=config.policy,
+                              signal=signal, clusters=labels,
+                              ready_at=ready_at)
+        self.scale_events.append({
+            "time": now, "action": "up", "policy": config.policy,
+            "signal": signal, "clusters": labels,
+            "active_replicas": len(self._active_elastic()),
+        })
+        # Kick dispatch the instant the new replicas finish warming up.
+        self._push(ready_at, _P_FLUSH, self._on_flush, None)
+
+    def _scale_down(self, now, count, signal):
+        config = self.autoscaler.config
+        labels = []
+        # Retire the most recently added replicas first (LIFO), so
+        # long-lived replicas keep their batch history and the pool
+        # composition stays deterministic.
+        for cluster in reversed(self._active_elastic()):
+            if len(labels) == count:
+                break
+            cluster.retire(now)
+            labels.append(cluster.label)
+        if not labels:
+            return
+        self.autoscaler.note_scaled(now)
+        _metric_inc("serve.scale_down", len(labels))
+        self.recorder.trigger("scale_down", now, policy=config.policy,
+                              signal=signal, clusters=labels)
+        self.scale_events.append({
+            "time": now, "action": "down", "policy": config.policy,
+            "signal": signal, "clusters": labels,
+            "active_replicas": len(self._active_elastic()),
+        })
 
     def _check_slo_burn(self, now, request, stats):
         """Trigger the flight recorder when a tenant's budget burns out."""
@@ -311,7 +422,8 @@ class _FleetEngine:
     def _try_dispatch(self, now):
         batch_cfg = self.scenario.batch
         while True:
-            free = [c for c in self.clusters if c.has_free_slot]
+            free = [c for c in self.clusters
+                    if c.available(now) and c.has_free_slot]
             if not free:
                 return
             batch = self.queue.take_batch(now, batch_cfg.max_requests,
@@ -331,8 +443,11 @@ class _FleetEngine:
                     len(batch), cts_in, cts_out, self.scenario.overheads)
                 plans.append((cluster.plan_batch(now, t_in, t_c, t_out),
                               cluster))
-            schedule, cluster = min(
-                plans, key=lambda pc: (pc[0].completion, pc[1].index))
+            deadlines = [r.deadline for r in batch
+                         if r.deadline is not None]
+            schedule, cluster = select_cluster(
+                plans, self.scenario.routing,
+                min(deadlines) if deadlines else None)
             cluster.commit_batch(schedule, len(batch))
             _metric_inc("serve.batches", cluster=cluster.label)
             _metric_inc("serve.batched_requests", len(batch),
@@ -364,6 +479,7 @@ class _FleetEngine:
 
     def run(self):
         self.seed_arrivals()
+        self.seed_autoscaler()
         while self.heap:
             time, _priority, _seq, handler, payload = heapq.heappop(
                 self.heap)

@@ -1,4 +1,4 @@
-"""Deterministic SLO reports (``repro.serve/v2``).
+"""Deterministic SLO reports (``repro.serve/v3``).
 
 The report answers the questions the paper's serving claims raise:
 what latency distribution does each tenant see (p50/p95/p99), how deep
@@ -18,6 +18,16 @@ Latency quantiles are nearest-rank within the documented
 everywhere under ``--exact``); the v1 per-tenant latency lists and the
 unbounded queue-depth series are gone (``--exact`` restores a
 downsampled depth series for tests).
+
+v3 adds the **elastic** vocabulary: the report's top level carries the
+scenario's routing mode, every cluster row carries its lifecycle
+(``active_from`` / ``retired_at`` / ``elastic``) and its integrated
+``card_seconds``, each fleet fragment totals card-seconds split into
+static and elastic shares (the cost the autoscale-vs-static-peak
+comparison minimizes), and fleets with an autoscaler attach an
+``autoscale`` fragment — policy, replica band, peak/final replica
+counts, and the full scale-event timeline with the policy signal that
+drove each action.
 
 All numbers are simulated-clock quantities; the only wall-clock data
 (planning time, cache hits) lives in the run manifest, which is
@@ -44,7 +54,7 @@ __all__ = [
     "render_report",
 ]
 
-REPORT_SCHEMA = "repro.serve/v2"
+REPORT_SCHEMA = "repro.serve/v3"
 
 #: Queue-depth series entries kept in an ``--exact`` report.
 _MAX_DEPTH_SAMPLES = 120
@@ -112,8 +122,16 @@ def build_fleet_report(engine, metrics_snapshot):
     horizon = max(scenario.duration_seconds, engine.last_completion)
 
     clusters = []
+    static_card_seconds = 0.0
+    elastic_card_seconds = 0.0
     for cluster, stats in zip(engine.clusters, engine.cluster_stats):
         compute_busy = stats.compute_busy
+        card_seconds = cluster.card_seconds(horizon)
+        if cluster.elastic:
+            elastic_card_seconds += card_seconds
+        else:
+            static_card_seconds += card_seconds
+        active_span = cluster.active_until(horizon) - cluster.active_from
         clusters.append({
             "name": cluster.name,
             "replica": cluster.replica,
@@ -122,7 +140,12 @@ def build_fleet_report(engine, metrics_snapshot):
             "requests": cluster.requests,
             "compute_busy_seconds": compute_busy,
             "io_busy_seconds": stats.io_union.length,
-            "utilization": compute_busy / horizon if horizon > 0 else 0.0,
+            "utilization": (compute_busy / active_span
+                            if active_span > 0 else 0.0),
+            "active_from": cluster.active_from,
+            "retired_at": cluster.retired_at,
+            "elastic": cluster.elastic,
+            "card_seconds": card_seconds,
             "windows": {"busy_fraction": stats.busy_w.means()},
         })
 
@@ -160,6 +183,25 @@ def build_fleet_report(engine, metrics_snapshot):
     if engine.depth_series is not None:
         queue["series"] = _depth_series(engine.depth_series)
 
+    autoscale = None
+    if engine.autoscaler is not None:
+        config = engine.autoscaler.config
+        autoscale = {
+            "policy": config.policy,
+            "cluster": config.cluster,
+            "min_replicas": config.min_replicas,
+            "max_replicas": config.max_replicas,
+            "initial_replicas": engine.initial_replicas,
+            "final_replicas": len(engine._active_elastic()),
+            "peak_replicas": engine.peak_replicas,
+            "evaluations": engine.autoscaler.evaluations,
+            "scale_ups": sum(1 for e in engine.scale_events
+                             if e["action"] == "up"),
+            "scale_downs": sum(1 for e in engine.scale_events
+                               if e["action"] == "down"),
+            "events": engine.scale_events,
+        }
+
     recorder = engine.recorder
     first_trigger = recorder.first_trigger
     return {
@@ -169,6 +211,12 @@ def build_fleet_report(engine, metrics_snapshot):
         "queue": queue,
         "throughput_rps": total_completed / horizon,
         "goodput_rps": total_good / horizon,
+        "card_seconds": {
+            "total": static_card_seconds + elastic_card_seconds,
+            "static": static_card_seconds,
+            "elastic": elastic_card_seconds,
+        },
+        "autoscale": autoscale,
         "metrics": metrics_snapshot.get("counters", {}),
         "flight_recorder": {
             "capacity": recorder.capacity,
@@ -184,7 +232,7 @@ def build_fleet_report(engine, metrics_snapshot):
 
 
 def build_report(scenario, fleet_names, fleet_reports, exact=False):
-    """The full ``repro.serve/v2`` document for one scenario run."""
+    """The full ``repro.serve/v3`` document for one scenario run."""
     telemetry = scenario.telemetry
     return {
         "schema": REPORT_SCHEMA,
@@ -193,6 +241,7 @@ def build_report(scenario, fleet_names, fleet_reports, exact=False):
         "duration_seconds": scenario.duration_seconds,
         "policy": scenario.policy,
         "dispatch": scenario.dispatch,
+        "routing": scenario.routing.to_dict(),
         "max_queue": scenario.max_queue,
         "batch": {
             "max_requests": scenario.batch.max_requests,
@@ -216,11 +265,12 @@ def _fmt_latency(value):
 
 
 def render_report(report):
-    """Human-readable rendering of a ``repro.serve/v2`` report."""
+    """Human-readable rendering of a ``repro.serve/v3`` report."""
     telemetry = report["telemetry"]
     lines = [
         f"scenario {report['scenario']!r} — policy {report['policy']}, "
-        f"dispatch {report['dispatch']}, seed {report['seed']}, "
+        f"dispatch {report['dispatch']}, routing "
+        f"{report['routing']['mode']}, seed {report['seed']}, "
         f"{report['duration_seconds']:g} s of simulated arrivals",
         f"telemetry: {telemetry['mode']} "
         f"({telemetry['num_windows']} windows x "
@@ -254,17 +304,41 @@ def render_report(report):
             title="Per-tenant SLO",
         ))
         cluster_rows = [
-            [f"{c['name']}#{c['replica']}", c["cards"], c["batches"],
+            [f"{c['name']}#{c['replica']}",
+             "elastic" if c["elastic"] else "static",
+             c["cards"], c["batches"],
              c["requests"], c["compute_busy_seconds"],
-             f"{100.0 * c['utilization']:.1f}%"]
+             f"{100.0 * c['utilization']:.1f}%",
+             c["card_seconds"]]
             for c in fleet["clusters"]
         ]
         lines.append(format_table(
-            ["Cluster", "Cards", "Batches", "Reqs", "Busy (s)", "Util"],
+            ["Cluster", "Kind", "Cards", "Batches", "Reqs", "Busy (s)",
+             "Util", "Card-s"],
             cluster_rows,
             title="Per-cluster occupancy",
             float_fmt="{:.1f}",
         ))
+        card_seconds = fleet["card_seconds"]
+        lines.append(
+            f"fleet cost: {card_seconds['total']:.1f} card-seconds "
+            f"({card_seconds['static']:.1f} static + "
+            f"{card_seconds['elastic']:.1f} elastic)"
+        )
+        autoscale = fleet.get("autoscale")
+        if autoscale is not None:
+            lines.append(
+                f"autoscale: {autoscale['policy']} on "
+                f"{autoscale['cluster']} "
+                f"[{autoscale['min_replicas']}, "
+                f"{autoscale['max_replicas']}], replicas "
+                f"{autoscale['initial_replicas']} -> peak "
+                f"{autoscale['peak_replicas']} -> final "
+                f"{autoscale['final_replicas']} "
+                f"({autoscale['scale_ups']} up / "
+                f"{autoscale['scale_downs']} down over "
+                f"{autoscale['evaluations']} evaluations)"
+            )
         queue = fleet["queue"]
         lines.append(
             f"queue: max depth {queue['max_depth']}, mean depth "

@@ -7,7 +7,7 @@ experiment:
 .. code-block:: json
 
     {
-      "schema": "repro.serve.scenario/v1",
+      "schema": "repro.serve.scenario/v2",
       "name": "steady_hydra_m",
       "duration_seconds": 240.0,
       "seed": 2024,
@@ -15,6 +15,9 @@ experiment:
       "dispatch": "pipelined",
       "max_queue": 32,
       "batch": {"max_requests": 4, "window_seconds": 2.0},
+      "routing": {"mode": "slo", "safety_margin_seconds": 0.0},
+      "autoscale": {"policy": "queue_depth", "cluster": "Hydra-M",
+                    "min_replicas": 0, "max_replicas": 3},
       "fleets": {"hydra-m": ["Hydra-M"]},
       "tenants": [
         {"name": "cnn-a", "model": "resnet18",
@@ -26,9 +29,17 @@ Fleet entries are deployment registry names
 (:func:`repro.core.available_systems`) or ``"hydra-SxC"`` shorthand for
 arbitrary scale-out deployments (``hydra-2x4`` = 2 servers x 4 cards).
 Tenants bind a registered model to a CKKS parameter preset and a seeded
-arrival process; every numeric knob is part of the runtime cache
-fingerprint chain, so two scenarios that differ in any modelled quantity
-never share planned service profiles by accident.
+arrival process (five models — see :mod:`repro.serve.arrivals`); every
+numeric knob is part of the runtime cache fingerprint chain, so two
+scenarios that differ in any modelled quantity never share planned
+service profiles by accident.
+
+Schema v2 adds the optional ``routing`` block (SLO-aware fleet routing,
+:class:`~repro.serve.dispatch.RoutingConfig`) and ``autoscale`` block
+(elastic replica pools, :class:`~repro.serve.autoscale.AutoscaleConfig`)
+plus the diurnal/flash/mmpp arrival processes.  v1 documents — which
+predate all three — still load; committed scenario files must be on the
+current version (``repro serve --validate-scenarios`` enforces this).
 """
 
 from __future__ import annotations
@@ -40,8 +51,12 @@ from pathlib import Path
 
 from repro.ckks.params import PAPER_PARAMS
 from repro.hw.cluster import hydra_cluster
+from repro.serve.arrivals import validate_arrival
+from repro.serve.autoscale import AutoscaleConfig
+from repro.serve.dispatch import RoutingConfig
 
 __all__ = [
+    "LEGACY_SCENARIO_SCHEMAS",
     "SCENARIO_SCHEMA",
     "SCENARIOS_DIR",
     "BatchConfig",
@@ -53,9 +68,15 @@ __all__ = [
     "load_scenario",
     "params_preset",
     "resolve_fleet_cluster",
+    "validate_scenario_files",
 ]
 
-SCENARIO_SCHEMA = "repro.serve.scenario/v1"
+SCENARIO_SCHEMA = "repro.serve.scenario/v2"
+
+#: Older scenario schema versions :meth:`Scenario.from_dict` still
+#: accepts from user files.  Committed files must be on the current
+#: version (see :func:`validate_scenario_files`).
+LEGACY_SCENARIO_SCHEMAS = ("repro.serve.scenario/v1",)
 
 #: Committed scenario files shipped with the package.
 SCENARIOS_DIR = Path(__file__).resolve().parent / "scenarios"
@@ -65,7 +86,6 @@ SCENARIOS_DIR = Path(__file__).resolve().parent / "scenarios"
 #: distinct service profiles.
 _PARAMS_PRESETS = {"paper": PAPER_PARAMS}
 
-_ARRIVAL_PROCESSES = ("poisson", "uniform")
 _POLICY_NAMES = ("fifo", "fair", "edf")
 _DISPATCH_MODES = ("pipelined", "serialized")
 
@@ -122,17 +142,14 @@ class TenantSpec:
     #: fraction of completions allowed to miss the deadline before the
     #: tenant's SLO burn-rate exceeds 1.0 (error-budget denominator)
     slo_budget: float = 0.01
+    #: process-specific arrival options as a sorted, hashable tuple of
+    #: ``(key, value)`` pairs (lists stored as tuples); see
+    #: :func:`repro.serve.arrivals.validate_arrival` for the vocabulary
+    arrival_extra: tuple = ()
 
     def __post_init__(self):
-        if self.process not in _ARRIVAL_PROCESSES:
-            raise ValueError(
-                f"tenant {self.name!r}: unknown arrival process "
-                f"{self.process!r}; choose from {_ARRIVAL_PROCESSES}"
-            )
-        if self.rate_rps <= 0:
-            raise ValueError(
-                f"tenant {self.name!r}: rate_rps must be positive"
-            )
+        validate_arrival(self.name, self.process, self.rate_rps,
+                         self.arrival_options)
         if self.deadline_seconds is not None and self.deadline_seconds <= 0:
             raise ValueError(
                 f"tenant {self.name!r}: deadline_seconds must be positive"
@@ -152,27 +169,43 @@ class TenantSpec:
         """Batching-compatibility key: same model + same params."""
         return (self.model, self.params)
 
+    @property
+    def arrival_options(self):
+        """The process-specific extras as a plain dict."""
+        return dict(self.arrival_extra)
+
     @classmethod
     def from_dict(cls, data):
         arrival = dict(data.get("arrival", {}))
+        process = arrival.pop("process", "poisson")
+        rate_rps = float(arrival.pop("rate_rps", 1.0))
+        extra = tuple(sorted(
+            (key, tuple(value) if isinstance(value, list) else value)
+            for key, value in arrival.items()
+        ))
         return cls(
             name=data["name"],
             model=data["model"],
-            process=arrival.get("process", "poisson"),
-            rate_rps=float(arrival.get("rate_rps", 1.0)),
+            process=process,
+            rate_rps=rate_rps,
             params=data.get("params", "paper"),
             deadline_seconds=data.get("deadline_seconds"),
             ciphertexts_in=int(data.get("ciphertexts_in", 1)),
             ciphertexts_out=int(data.get("ciphertexts_out", 1)),
             slo_budget=float(data.get("slo_budget", 0.01)),
+            arrival_extra=extra,
         )
 
     def to_dict(self):
+        arrival = {"process": self.process, "rate_rps": self.rate_rps}
+        for key, value in self.arrival_extra:
+            arrival[key] = list(value) if isinstance(value, tuple) \
+                else value
         doc = {
             "name": self.name,
             "model": self.model,
             "params": self.params,
-            "arrival": {"process": self.process, "rate_rps": self.rate_rps},
+            "arrival": arrival,
             "ciphertexts_in": self.ciphertexts_in,
             "ciphertexts_out": self.ciphertexts_out,
             "slo_budget": self.slo_budget,
@@ -262,6 +295,8 @@ class Scenario:
     batch: BatchConfig = field(default_factory=BatchConfig)
     overheads: Overheads = field(default_factory=Overheads)
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    routing: RoutingConfig = field(default_factory=RoutingConfig)
+    autoscale: AutoscaleConfig = None
 
     def __post_init__(self):
         if self.duration_seconds <= 0:
@@ -297,6 +332,16 @@ class Scenario:
                 raise ValueError(f"fleet {fleet!r} has no clusters")
             for entry in entries:
                 resolve_fleet_cluster(entry)  # fail fast
+        if self.autoscale is not None:
+            resolve_fleet_cluster(self.autoscale.cluster)  # fail fast
+            if self.autoscale.fleets is not None:
+                missing = [f for f in self.autoscale.fleets
+                           if f not in self.fleets]
+                if missing:
+                    raise ValueError(
+                        f"autoscale.fleets names unknown fleets "
+                        f"{missing}; fleets: {sorted(self.fleets)}"
+                    )
 
     def override(self, seed=None, duration=None, dispatch=None,
                  policy=None):
@@ -315,14 +360,25 @@ class Scenario:
     @classmethod
     def from_dict(cls, data, source="scenario"):
         schema = data.get("schema")
-        if schema != SCENARIO_SCHEMA:
+        if schema not in (SCENARIO_SCHEMA, *LEGACY_SCENARIO_SCHEMAS):
             raise ValueError(
                 f"{source}: unsupported scenario schema {schema!r} "
                 f"(expected {SCENARIO_SCHEMA!r})"
             )
+        if schema in LEGACY_SCENARIO_SCHEMAS:
+            v2_only = sorted(k for k in ("routing", "autoscale")
+                             if k in data)
+            if v2_only:
+                raise ValueError(
+                    f"{source}: {v2_only} need scenario schema "
+                    f"{SCENARIO_SCHEMA!r}, not {schema!r}"
+                )
         batch = BatchConfig(**data.get("batch", {}))
         overheads = Overheads(**data.get("overheads", {}))
         telemetry = TelemetryConfig(**data.get("telemetry", {}))
+        routing = RoutingConfig.from_dict(data.get("routing", {}))
+        autoscale = (None if data.get("autoscale") is None
+                     else AutoscaleConfig.from_dict(data["autoscale"]))
         fleets = {
             str(name): tuple(entries)
             for name, entries in data["fleets"].items()
@@ -342,10 +398,12 @@ class Scenario:
             batch=batch,
             overheads=overheads,
             telemetry=telemetry,
+            routing=routing,
+            autoscale=autoscale,
         )
 
     def to_dict(self):
-        return {
+        doc = {
             "schema": SCENARIO_SCHEMA,
             "name": self.name,
             "duration_seconds": self.duration_seconds,
@@ -366,9 +424,13 @@ class Scenario:
                 "num_windows": self.telemetry.num_windows,
                 "recorder_events": self.telemetry.recorder_events,
             },
+            "routing": self.routing.to_dict(),
             "fleets": {name: list(v) for name, v in self.fleets.items()},
             "tenants": [t.to_dict() for t in self.tenants],
         }
+        if self.autoscale is not None:
+            doc["autoscale"] = self.autoscale.to_dict()
+        return doc
 
 
 def builtin_scenarios():
@@ -393,3 +455,42 @@ def load_scenario(ref):
     with open(path, encoding="utf-8") as fh:
         data = json.load(fh)
     return Scenario.from_dict(data, source=str(path))
+
+
+def validate_scenario_files(directory=None):
+    """Lint every scenario JSON under ``directory`` (CI gate).
+
+    Stricter than :func:`load_scenario`: committed files must declare
+    the *current* schema version (catching v1/v2 drift before it rots),
+    must pass full :meth:`Scenario.from_dict` validation, and must
+    round-trip through ``to_dict`` without losing fields the loader
+    understands.  Returns a list of ``(filename, error_or_None)`` rows,
+    one per file, sorted by name.
+    """
+    directory = Path(SCENARIOS_DIR if directory is None else directory)
+    rows = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+            schema = data.get("schema")
+            if schema != SCENARIO_SCHEMA:
+                raise ValueError(
+                    f"committed scenarios must use schema "
+                    f"{SCENARIO_SCHEMA!r}, found {schema!r}"
+                )
+            scenario = Scenario.from_dict(data, source=path.name)
+            if scenario.name != path.stem:
+                raise ValueError(
+                    f"scenario name {scenario.name!r} != file stem "
+                    f"{path.stem!r} (builtin lookup would break)"
+                )
+            reparsed = Scenario.from_dict(scenario.to_dict(),
+                                          source=f"{path.name} (round-trip)")
+            if reparsed != scenario:
+                raise ValueError("to_dict/from_dict round-trip drifted")
+            rows.append((path.name, None))
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError) \
+                as exc:
+            rows.append((path.name, str(exc)))
+    return rows

@@ -1,14 +1,15 @@
-"""The ``repro.serve/v2`` report schema and a dependency-free validator.
+"""Serving-report schemas and a dependency-free validator.
 
-CI validates every emitted serving report against the checked-in schema
-file (``serve_report.schema.json``, committed next to this module)
-before uploading it as an artifact, so downstream consumers of the
-artifact can rely on its shape.  The validator implements the small
-JSON-Schema subset the file uses — ``type`` (including union lists),
-``properties`` / ``required`` / ``additionalProperties``, ``items``,
-``enum``, ``minimum`` — because the container image does not ship the
-``jsonschema`` package (same approach as
-:func:`repro.obs.validate_chrome_trace`).
+CI validates every emitted artifact against a checked-in schema file
+(``serve_report.schema.json`` for ``repro.serve/v3`` reports and
+``capacity_report.schema.json`` for ``repro.capacity/v1`` plans, both
+committed next to this module) before uploading it, so downstream
+consumers of the artifact can rely on its shape.  The validator
+implements the small JSON-Schema subset the files use — ``type``
+(including union lists), ``properties`` / ``required`` /
+``additionalProperties``, ``items``, ``enum``, ``minimum`` — because
+the container image does not ship the ``jsonschema`` package (same
+approach as :func:`repro.obs.validate_chrome_trace`).
 """
 
 from __future__ import annotations
@@ -16,11 +17,21 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-__all__ = ["REPORT_SCHEMA_PATH", "load_schema", "validate_serve_report"]
+__all__ = [
+    "CAPACITY_SCHEMA_PATH",
+    "REPORT_SCHEMA_PATH",
+    "load_schema",
+    "validate_capacity_report",
+    "validate_serve_report",
+]
 
-#: The checked-in schema file for ``repro.serve/v2`` reports.
+#: The checked-in schema file for ``repro.serve/v3`` reports.
 REPORT_SCHEMA_PATH = Path(__file__).resolve().parent / \
     "serve_report.schema.json"
+
+#: The checked-in schema file for ``repro.capacity/v1`` plans.
+CAPACITY_SCHEMA_PATH = Path(__file__).resolve().parent / \
+    "capacity_report.schema.json"
 
 _TYPE_CHECKS = {
     "object": lambda v: isinstance(v, dict),
@@ -42,7 +53,7 @@ def load_schema(path=None):
 
 def _fail(path, message):
     where = path or "$"
-    raise ValueError(f"serve report schema violation at {where}: {message}")
+    raise ValueError(f"report schema violation at {where}: {message}")
 
 
 def _check_type(value, expected, path):
@@ -84,7 +95,7 @@ def _validate(value, schema, path):
 
 
 def validate_serve_report(report, schema=None):
-    """Raise ``ValueError`` unless ``report`` matches the v2 schema.
+    """Raise ``ValueError`` unless ``report`` matches the serve schema.
 
     ``schema`` may be a pre-loaded schema document or a path to one;
     None loads the packaged :data:`REPORT_SCHEMA_PATH`.  Returns the
@@ -92,5 +103,17 @@ def validate_serve_report(report, schema=None):
     """
     if schema is None or isinstance(schema, (str, Path)):
         schema = load_schema(schema)
+    _validate(report, schema, "")
+    return report
+
+
+def validate_capacity_report(report, schema=None):
+    """Raise ``ValueError`` unless ``report`` is a valid capacity plan.
+
+    Same contract as :func:`validate_serve_report`, against the
+    packaged :data:`CAPACITY_SCHEMA_PATH` by default.
+    """
+    if schema is None or isinstance(schema, (str, Path)):
+        schema = load_schema(schema or CAPACITY_SCHEMA_PATH)
     _validate(report, schema, "")
     return report

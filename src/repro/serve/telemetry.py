@@ -30,6 +30,8 @@ _COUNTER_HELP = {
     "serve.deadline_miss": "Completions past their deadline per tenant",
     "serve.batches": "Batches dispatched per cluster",
     "serve.batched_requests": "Requests coalesced into batches per cluster",
+    "serve.scale_up": "Elastic replicas added by the autoscaler",
+    "serve.scale_down": "Elastic replicas retired by the autoscaler",
 }
 
 

@@ -1,0 +1,245 @@
+"""Capacity-planner tests: the search, the report, and the CI gate.
+
+The binary-search tests drive :func:`repro.serve.capacity._min_feasible`
+with fake feasibility oracles; the end-to-end tests plan the committed
+``elastic_diurnal`` scenario once per module and pin the PR's
+determinism claim — the ``repro.capacity/v1`` report equals the golden
+plan committed at the repo root, byte-for-byte modulo JSON parsing, on
+every re-run.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import cli
+from repro.serve import (
+    CAPACITY_SCHEMA_PATH,
+    Scenario,
+    TenantSpec,
+    compare_capacity_reports,
+    plan_capacity,
+    render_capacity_report,
+    validate_capacity_report,
+)
+from repro.serve.capacity import DEFAULT_SHAPES, _min_feasible
+from repro.serve.scenario import BatchConfig, Overheads
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+GOLDEN_PATH = REPO_ROOT / "CAPACITY_elastic_diurnal.json"
+
+
+class _Oracle:
+    """Memoized fake of plan_capacity's per-shape check closure."""
+
+    def __init__(self, min_feasible):
+        self.min_feasible = min_feasible
+        self.calls = []
+
+    def __call__(self, n):
+        self.calls.append(n)
+        return self.min_feasible is not None and n >= self.min_feasible
+
+
+class TestMinFeasible:
+    def test_doubling_then_bisection(self):
+        oracle = _Oracle(min_feasible=3)
+        assert _min_feasible(oracle, 8) == 3
+        assert oracle.calls == [1, 2, 4, 3]
+
+    def test_single_replica_suffices(self):
+        oracle = _Oracle(min_feasible=1)
+        assert _min_feasible(oracle, 8) == 1
+        assert oracle.calls == [1]
+
+    def test_all_infeasible_returns_none(self):
+        oracle = _Oracle(min_feasible=None)
+        assert _min_feasible(oracle, 8) is None
+        assert oracle.calls == [1, 2, 4, 8]
+
+    def test_overshoot_falls_back_to_ceiling(self):
+        # Doubling jumps past a non-power-of-two ceiling: 1, 2, 4, then
+        # 8 > 6, so the ceiling itself is probed before bisecting.
+        oracle = _Oracle(min_feasible=5)
+        assert _min_feasible(oracle, 6) == 5
+        assert oracle.calls == [1, 2, 4, 6, 5]
+
+    def test_ceiling_infeasible_after_overshoot(self):
+        assert _min_feasible(_Oracle(min_feasible=7), 6) is None
+
+    def test_exact_power_of_two_boundary(self):
+        oracle = _Oracle(min_feasible=8)
+        assert _min_feasible(oracle, 8) == 8
+        assert oracle.calls == [1, 2, 4, 8, 6, 7]
+
+    @pytest.mark.parametrize("target", range(1, 9))
+    def test_finds_exact_minimum_everywhere(self, target):
+        assert _min_feasible(_Oracle(min_feasible=target), 8) == target
+
+    def test_never_probes_same_count_twice(self):
+        for target in (None, 1, 3, 5, 8):
+            oracle = _Oracle(min_feasible=target)
+            _min_feasible(oracle, 8)
+            assert len(oracle.calls) == len(set(oracle.calls)), (
+                f"target {target}: duplicate probes {oracle.calls} — "
+                f"each probe is a full fleet simulation"
+            )
+
+
+class TestCompare:
+    def _report(self):
+        return {
+            "schema": "repro.capacity/v1",
+            "scenario": "s", "seed": 1, "duration_seconds": 10.0,
+            "chosen": {"shape": "Hydra-M", "replicas": 3,
+                       "total_cards": 24, "card_seconds": 100.0},
+            "shapes": [
+                {"shape": "Hydra-M", "feasible": True, "replicas": 3},
+                {"shape": "Hydra-S", "feasible": False, "replicas": None},
+            ],
+        }
+
+    def test_identical_reports_pass(self):
+        assert compare_capacity_reports(self._report(),
+                                        self._report()) == []
+
+    def test_chosen_drift_is_flagged(self):
+        golden = self._report()
+        golden["chosen"]["replicas"] = 4
+        diffs = compare_capacity_reports(self._report(), golden)
+        assert any(d.startswith("chosen:") for d in diffs)
+
+    def test_shape_outcome_drift_is_flagged(self):
+        golden = self._report()
+        golden["shapes"][1]["feasible"] = True
+        golden["shapes"][1]["replicas"] = 6
+        diffs = compare_capacity_reports(self._report(), golden)
+        assert diffs == ["shape Hydra-S: got (feasible, replicas)="
+                         "(False, None), golden (True, 6)"]
+
+    def test_missing_shape_is_flagged(self):
+        golden = self._report()
+        golden["shapes"].append({"shape": "Hydra-L", "feasible": True,
+                                 "replicas": 1})
+        diffs = compare_capacity_reports(self._report(), golden)
+        assert any("shape Hydra-L" in d for d in diffs)
+
+    def test_seed_drift_is_flagged(self):
+        golden = self._report()
+        golden["seed"] = 2
+        diffs = compare_capacity_reports(self._report(), golden)
+        assert any(d.startswith("seed:") for d in diffs)
+
+
+class TestValidation:
+    def test_no_slo_tenant_is_rejected(self):
+        scenario = Scenario(
+            name="no-slo", duration_seconds=10.0, seed=1,
+            tenants=(TenantSpec(name="t0", model="resnet18",
+                                process="uniform", rate_rps=0.5),),
+            fleets={"f": ("Hydra-S",)},
+            batch=BatchConfig(max_requests=1, window_seconds=0.0),
+            overheads=Overheads(batch_setup_seconds=0.0),
+        )
+        with pytest.raises(ValueError, match="no tenant with"):
+            plan_capacity(scenario)
+
+    def test_max_replicas_floor(self):
+        with pytest.raises(ValueError, match="max_replicas"):
+            plan_capacity("elastic_diurnal", max_replicas=0)
+
+    def test_schema_file_exists(self):
+        schema = json.loads(CAPACITY_SCHEMA_PATH.read_text())
+        assert schema["properties"]["schema"]["enum"] \
+            == ["repro.capacity/v1"]
+
+
+@pytest.fixture(scope="module")
+def diurnal_plan():
+    # The committed scenario with the committed search settings: this is
+    # exactly what the CI capacity job runs.
+    return plan_capacity("elastic_diurnal", jobs=4)
+
+
+class TestCapacityGate:
+    """The CI gate's contract, pinned in-process."""
+
+    def test_report_validates_against_schema(self, diurnal_plan):
+        report, _ = diurnal_plan
+        validate_capacity_report(report)
+
+    def test_report_matches_committed_golden(self, diurnal_plan):
+        report, _ = diurnal_plan
+        golden = json.loads(GOLDEN_PATH.read_text())
+        assert compare_capacity_reports(report, golden) == []
+        # Stronger than the gate: the full document is identical, not
+        # just the decision — byte determinism is the whole point.
+        assert report == golden
+
+    def test_replanning_is_deterministic(self, diurnal_plan):
+        report, _ = diurnal_plan
+        again, manifest = plan_capacity("elastic_diurnal", jobs=1)
+        assert again == report
+        # The second plan rides the in-process runtime cache.
+        assert manifest.hits == manifest.runs
+
+    def test_search_shape_and_decision(self, diurnal_plan):
+        report, _ = diurnal_plan
+        assert report["search"]["shapes"] == list(DEFAULT_SHAPES)
+        by_shape = {r["shape"]: r for r in report["shapes"]}
+        # Hydra-S (41.3 s resnet18 inference) can never hold a 20 s
+        # deadline no matter how many replicas are stacked.
+        assert not by_shape["Hydra-S"]["feasible"]
+        assert by_shape["Hydra-M"]["feasible"]
+        chosen = report["chosen"]
+        assert chosen is not None
+        assert chosen["total_cards"] == min(
+            r["total_cards"] for r in report["shapes"] if r["feasible"])
+
+    def test_chosen_fleet_holds_the_slo(self, diurnal_plan):
+        report, _ = diurnal_plan
+        winner = next(r for r in report["shapes"]
+                      if r["shape"] == report["chosen"]["shape"])
+        for name, tenant in winner["tenants"].items():
+            assert tenant["p99_seconds"] <= tenant["deadline_seconds"]
+            assert tenant["miss_fraction"] <= tenant["budget"]
+
+    def test_render_mentions_decision(self, diurnal_plan):
+        report, _ = diurnal_plan
+        text = render_capacity_report(report)
+        chosen = report["chosen"]
+        assert f"{chosen['replicas']} x {chosen['shape']}" in text
+        assert "Search (n+/-)" in text
+
+
+class TestCli:
+    def test_capacity_gate_passes_against_golden(self, diurnal_plan,
+                                                 tmp_path):
+        out_path = tmp_path / "plan.json"
+        lines = []
+        rc = cli.main(["capacity", "elastic_diurnal", "--json",
+                       "--validate", "--out", str(out_path),
+                       "--golden", str(GOLDEN_PATH)], out=lines.append)
+        assert rc in (0, None)
+        assert any("matches golden" in line for line in lines)
+        # The emitted file is byte-identical to the committed golden.
+        assert out_path.read_bytes() == GOLDEN_PATH.read_bytes()
+
+    def test_capacity_gate_fails_on_drift(self, diurnal_plan, tmp_path):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        golden["chosen"]["replicas"] += 1
+        drifted = tmp_path / "drifted.json"
+        drifted.write_text(json.dumps(golden))
+        lines = []
+        rc = cli.main(["capacity", "elastic_diurnal", "--json",
+                       "--golden", str(drifted)], out=lines.append)
+        assert rc == 1
+        assert any("drifted" in line for line in lines)
+
+    def test_validate_scenarios_lint_passes(self):
+        lines = []
+        rc = cli.main(["serve", "--validate-scenarios"],
+                      out=lines.append)
+        assert rc in (0, None)
+        assert any("scenario files valid" in line for line in lines)

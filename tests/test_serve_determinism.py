@@ -48,7 +48,7 @@ def test_report_bytes_survive_jobs_and_restarts(tmp_path):
     assert serial == parallel
     assert serial == warm
     report = json.loads(serial)
-    assert report["schema"] == "repro.serve/v2"
+    assert report["schema"] == "repro.serve/v3"
     assert report["fleets"]["hydra-m"]["tenants"]
     # --telemetry-out landed the three artifacts alongside --out.
     exported = json.loads((telem_dir / "report.json").read_bytes())

@@ -77,7 +77,7 @@ class TestEngine:
         from repro.serve.report import build_report
 
         wrapped = build_report(scenario, ["f"], {"f": a})
-        assert wrapped["schema"] == "repro.serve/v2"
+        assert wrapped["schema"] == "repro.serve/v3"
         assert wrapped["telemetry"]["mode"] == "streaming"
         validate_serve_report(wrapped)
 
