@@ -66,6 +66,12 @@ Commands
     (``--list``).  ``--validate-scenarios`` lints every committed
     scenario file (current schema version, full validation, to_dict
     round-trip) and exits nonzero on any failure — the CI lint gate.
+    ``--live [--host H] [--port N] [--warm] [--warm-workers N]
+    [--max-inflight N] [--time-scale F]`` swaps the DES for the asyncio
+    live runtime (:mod:`repro.serve.live`): a localhost HTTP API
+    answering real encrypt→infer→decrypt requests on the functional
+    CKKS substrate, with simulated-hardware latency accounted per
+    batch and a Prometheus ``/metrics`` endpoint.
 ``capacity SCENARIO [--shapes S ...] [--max-replicas N] [--jobs N]
 [--backend B] [--seed N] [--duration S] [--json] [--out FILE]
 [--validate] [--golden FILE]``
@@ -264,6 +270,32 @@ def build_parser():
     serve_p.add_argument("--validate-scenarios", action="store_true",
                          help="lint every committed scenario file and "
                               "exit (nonzero on any failure)")
+    serve_p.add_argument("--live", action="store_true",
+                         help="serve real encrypted inference over a "
+                              "localhost HTTP API instead of running "
+                              "the DES (see repro.serve.live)")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="live mode: bind address "
+                              "(default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8377,
+                         help="live mode: TCP port (0 = ephemeral; "
+                              "default 8377)")
+    serve_p.add_argument("--warm", action="store_true",
+                         help="live mode: build every CKKS worker "
+                              "context before accepting traffic")
+    serve_p.add_argument("--warm-workers", type=int, default=2,
+                         metavar="N",
+                         help="live mode: warm CKKS worker contexts "
+                              "(default 2)")
+    serve_p.add_argument("--max-inflight", type=int, default=64,
+                         metavar="N",
+                         help="live mode: admitted-but-incomplete "
+                              "request cap before 503 (default 64)")
+    serve_p.add_argument("--time-scale", type=float, default=1.0,
+                         metavar="F",
+                         help="live mode: scale simulated-hardware "
+                              "batch times by F (0.01 = 100x faster "
+                              "than modeled; default 1.0)")
 
     capacity_p = sub.add_parser(
         "capacity",
@@ -703,6 +735,20 @@ def _cmd_serve(args, out):
     if args.scenario is None:
         out("error: a scenario name/path is required (or use --list)")
         return 2
+    if args.live:
+        from repro.serve.live import run_live
+
+        try:
+            return run_live(
+                args.scenario, host=args.host, port=args.port,
+                fleet=args.fleet, warm=args.warm,
+                warm_workers=args.warm_workers,
+                max_inflight=args.max_inflight,
+                time_scale=args.time_scale, jobs=args.jobs,
+                backend=args.backend, out=out)
+        except (OSError, ValueError, KeyError) as exc:
+            out(f"error: {exc}")
+            return 2
     recorders = {}
     try:
         report, manifest = run_scenario(

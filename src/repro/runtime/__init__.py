@@ -7,9 +7,11 @@ This package is how experiments run at scale:
 * :func:`run_key` and friends — full configuration fingerprints
   (cluster, CKKS params, calibration, planner rounds, code version)
   keying every cached result (``fingerprint``);
-* :class:`MemoryCache` / :class:`DiskCache` — injectable result caches,
-  including the persistent JSON cache under ``$REPRO_CACHE_DIR`` or
-  ``~/.cache/repro-hydra/`` (``cache``);
+* :class:`MemoryCache` / :class:`SqlitePlanStore` — injectable result
+  caches, including the persistent cross-process plan store under
+  ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-hydra/`` (``cache``,
+  ``planstore``; :class:`DiskCache` is the legacy JSON layout the
+  store migrates from);
 * :func:`execute` / :func:`run_one` — deterministic fan-out of request
   grids over a process pool with in-order merging (``executor``);
 * :class:`RunManifest` — per-run provenance: wall time, cache hits,
@@ -40,6 +42,7 @@ from repro.runtime.fingerprint import (
     run_key,
 )
 from repro.runtime.manifest import RunManifest, RunRecord
+from repro.runtime.planstore import SqlitePlanStore
 from repro.runtime.requests import RunRequest, RunResult, paper_grid
 
 __all__ = [
@@ -47,6 +50,7 @@ __all__ = [
     "DiskCache",
     "MemoryCache",
     "RunCache",
+    "SqlitePlanStore",
     "default_cache",
     "default_cache_dir",
     "set_default_cache",

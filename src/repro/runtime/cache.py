@@ -1,21 +1,27 @@
-"""Run-result caches: in-memory and persistent on-disk (JSON).
+"""Run-result caches: the in-memory cache and the legacy JSON format.
 
-The disk cache lives under ``$REPRO_CACHE_DIR`` (or
-``~/.cache/repro-hydra/`` when unset), one JSON file per fingerprint
-key, written atomically.  Because keys are full configuration
-fingerprints (:mod:`repro.runtime.fingerprint`), entries never go stale:
-any change to cluster, CKKS parameters, calibration, planner rounds, or
-simulation code lands on a different key, and orphaned entries are just
-never read again.
+Persistent caching lives under ``$REPRO_CACHE_DIR`` (or
+``~/.cache/repro-hydra/`` when unset).  Because keys are full
+configuration fingerprints (:mod:`repro.runtime.fingerprint`), entries
+never go stale: any change to cluster, CKKS parameters, calibration,
+planner rounds, or simulation code lands on a different key, and
+orphaned entries are just never read again.
+
+The persistent store is :class:`~repro.runtime.SqlitePlanStore`
+(sqlite + per-key file locks, safe for concurrent server processes).
+:class:`DiskCache` — the original one-JSON-file-per-key layout with no
+cross-process write exclusion — is kept for one release as the legacy
+format the sqlite store migrates from on first open.
 
 :func:`default_cache` is the process-wide cache that
 :class:`~repro.core.HydraSystem` uses when none is injected — an
-in-memory cache normally, or a disk cache when ``$REPRO_CACHE_DIR`` is
-set.
+in-memory cache normally, or the sqlite plan store when
+``$REPRO_CACHE_DIR`` is set.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
@@ -96,6 +102,18 @@ class RunCache:
     def put(self, key, result):
         self.stats.puts += 1
         self._store(key, result)
+
+    def lock(self, key):
+        """Cross-process exclusion for compiling ``key``.
+
+        The base implementation is a no-op context manager — a
+        process-local cache has nothing to exclude.  Stores shared
+        between processes (:class:`~repro.runtime.SqlitePlanStore`)
+        override this with a real per-key file lock; the executor wraps
+        its miss path in it so each plan compiles exactly once across
+        concurrent servers.
+        """
+        return contextlib.nullcontext()
 
     def _load(self, key):
         raise NotImplementedError
@@ -229,14 +247,18 @@ _default = None
 def default_cache():
     """The process-wide cache used when none is injected.
 
-    A :class:`MemoryCache` normally; a :class:`DiskCache` when
-    ``$REPRO_CACHE_DIR`` is set (so whole benchmark-suite invocations
-    persist their runs without any code change).
+    A :class:`MemoryCache` normally; a
+    :class:`~repro.runtime.SqlitePlanStore` when ``$REPRO_CACHE_DIR``
+    is set (so whole benchmark-suite invocations persist their runs
+    without any code change, and concurrent server processes share one
+    store safely).  Legacy :class:`DiskCache` JSON entries found in the
+    directory are migrated read-only on first open.
     """
     global _default
     if _default is None:
         if os.environ.get(ENV_CACHE_DIR):
-            _default = DiskCache()
+            from repro.runtime.planstore import SqlitePlanStore
+            _default = SqlitePlanStore()
         else:
             _default = MemoryCache()
     return _default

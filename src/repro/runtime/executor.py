@@ -127,10 +127,32 @@ def execute(requests, jobs=1, cache=None, use_cache=True):
                 metrics=metrics,
             )
 
+    late_hits = 0
     if pending and jobs == 1:
         for key, indices in pending.items():
-            result, seconds, _pid, metrics = _simulate(requests[indices[0]])
-            _finish(key, result, seconds, None, metrics)
+            if not use_cache:
+                result, seconds, _pid, metrics = _simulate(
+                    requests[indices[0]])
+                _finish(key, result, seconds, None, metrics)
+                continue
+            # Hold the store's per-key lock across check → simulate →
+            # store: when concurrent processes race on the same plan,
+            # exactly one compiles it and the others find the stored
+            # result when the lock releases (a "late hit").
+            with cache.lock(key):
+                late = cache._load(key)
+                if late is not None:
+                    cache.stats.hits += 1
+                    late_hits += 1
+                    for idx in indices:
+                        results[idx] = RunResult(
+                            request=requests[idx], result=late, key=key,
+                            cache_hit=True,
+                        )
+                    continue
+                result, seconds, _pid, metrics = _simulate(
+                    requests[indices[0]])
+                _finish(key, result, seconds, None, metrics)
     elif pending:
         worker_slot = {}  # pid -> stable small slot number
         with ProcessPoolExecutor(
@@ -155,11 +177,12 @@ def execute(requests, jobs=1, cache=None, use_cache=True):
     parent = MetricsRegistry()
     parent.inc("runtime.cache.hits",
                sum(1 for rr in results if rr.cache_hit))
-    parent.inc("runtime.cache.misses", len(pending))
+    parent.inc("runtime.cache.misses", len(pending) - late_hits)
     parent.inc("runtime.cache.stale", cache.stats.stale - stale_before)
     parent.inc("runtime.requests", len(requests))
     manifest.metrics = merge_snapshots(
-        [results[indices[0]].metrics for indices in pending.values()]
+        [results[indices[0]].metrics for indices in pending.values()
+         if results[indices[0]].metrics is not None]
         + [parent.snapshot()]
     )
     return ExecutionResult(results=results, manifest=manifest)

@@ -1,0 +1,243 @@
+"""Cross-process plan store: sqlite + per-key file locks.
+
+:class:`SqlitePlanStore` replaces the one-JSON-file-per-key
+:class:`~repro.runtime.cache.DiskCache` as the persistent run-result
+cache.  The keys are the same configuration fingerprints
+(:mod:`repro.runtime.fingerprint`) — entries never go stale, any config
+or code change lands on a new key — but the storage contract is
+stronger, which is what a *serving* deployment needs:
+
+* **Atomic concurrent writes.** All entries live in one sqlite
+  database (``plans.sqlite`` under the cache directory); sqlite's
+  locking makes concurrent ``put`` calls from independent server
+  processes safe, where racing ``os.replace`` writers on a shared JSON
+  tree were last-writer-wins with no exclusion at all.
+* **Compile-once across processes.** :meth:`lock` hands out a per-key
+  ``flock`` (under ``locks/`` next to the database), so two servers
+  warming the same scenario serialize on the key, and the loser of the
+  race finds the winner's plan instead of re-planning it.  The lock is
+  advisory and *separate* from sqlite's internal locking: it spans the
+  whole check → simulate → store critical section, which can take
+  seconds — far too long to hold a database write lock.
+* **Legacy migration.** On first open the store migrates any
+  ``<key>.json`` entries a pre-sqlite cache left in the same directory
+  (read-only — the JSON files are not deleted), so existing cache
+  directories keep their warm plans for one release.
+
+The payload format is unchanged: ``{"format": 1, "key": ...,
+"result": ModelRunResult.to_dict()}``, serialized with dict insertion
+order preserved so derived float quantities round-trip bit-exact.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import sqlite3
+from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+from repro.runtime.cache import RunCache, default_cache_dir
+from repro.sched.planner import ModelRunResult
+
+__all__ = ["SqlitePlanStore"]
+
+#: Payload format shared with the legacy DiskCache entries.
+_FORMAT = 1
+
+#: Database file name under the cache directory.
+_DB_NAME = "plans.sqlite"
+
+#: How long a reader/writer waits on sqlite's internal lock (seconds).
+_BUSY_TIMEOUT = 30.0
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS plans (
+    key     TEXT PRIMARY KEY,
+    format  INTEGER NOT NULL,
+    payload TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS meta (
+    name  TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+
+class SqlitePlanStore(RunCache):
+    """Persistent plan cache shared safely between processes.
+
+    Parameters
+    ----------
+    directory:
+        Cache root; defaults to ``$REPRO_CACHE_DIR`` or
+        ``~/.cache/repro-hydra``.  Created eagerly (the database and
+        lock directory must exist before two processes can coordinate).
+    memory:
+        Keep a read-through in-memory layer so repeated lookups in one
+        process parse each payload at most once.
+    """
+
+    def __init__(self, directory=None, memory=True):
+        super().__init__()
+        self.directory = (Path(directory) if directory
+                          else default_cache_dir())
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._db_path = self.directory / _DB_NAME
+        self._lock_dir = self.directory / "locks"
+        self._memory = {} if memory else None
+        with self._connect() as conn:
+            conn.executescript(_SCHEMA)
+            self._migrate_legacy(conn)
+
+    # -- connection -----------------------------------------------------
+
+    @contextlib.contextmanager
+    def _connect(self):
+        """One transaction on a fresh connection (commit + close).
+
+        Short-lived connections sidestep every cross-process and
+        fork-safety hazard of a cached handle; plan traffic is a few
+        lookups per scenario, nowhere near where connection setup
+        costs matter.
+        """
+        conn = sqlite3.connect(str(self._db_path), timeout=_BUSY_TIMEOUT)
+        try:
+            conn.execute(
+                f"PRAGMA busy_timeout = {int(_BUSY_TIMEOUT * 1000)}")
+            with conn:
+                yield conn
+        finally:
+            conn.close()
+
+    # -- legacy JSON migration ------------------------------------------
+
+    def _migrate_legacy(self, conn):
+        """Import pre-sqlite ``<key>.json`` entries, once, read-only.
+
+        Runs inside the schema-creation transaction of first open; the
+        ``legacy_migrated`` marker makes every later open (and every
+        concurrent opener that lost the insert race) skip the scan.
+        The JSON files themselves are left in place — this is the
+        one-release compatibility shim, not a rewrite of the directory.
+        """
+        row = conn.execute(
+            "SELECT value FROM meta WHERE name = 'legacy_migrated'"
+        ).fetchone()
+        if row is not None:
+            return
+        migrated = 0
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if (not isinstance(payload, dict)
+                    or payload.get("format") != _FORMAT
+                    or "key" not in payload or "result" not in payload):
+                continue
+            cursor = conn.execute(
+                "INSERT OR IGNORE INTO plans (key, format, payload) "
+                "VALUES (?, ?, ?)",
+                (payload["key"], _FORMAT, json.dumps(payload)),
+            )
+            migrated += cursor.rowcount
+        conn.execute(
+            "INSERT OR IGNORE INTO meta (name, value) VALUES (?, ?)",
+            ("legacy_migrated", str(migrated)),
+        )
+
+    # -- RunCache protocol ----------------------------------------------
+
+    def _load(self, key):
+        if self._memory is not None and key in self._memory:
+            return self._memory[key]
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT format, payload FROM plans WHERE key = ?",
+                (key,),
+            ).fetchone()
+        if row is None:
+            return None
+        fmt, blob = row
+        try:
+            if fmt != _FORMAT:
+                raise ValueError(f"unsupported plan format {fmt!r}")
+            payload = json.loads(blob)
+            result = ModelRunResult.from_dict(payload["result"])
+        except (ValueError, KeyError, TypeError):
+            # Corrupt or incompatible entry — count it stale and treat
+            # as a miss; a fresh run will overwrite it.
+            self.stats.stale += 1
+            return None
+        if self._memory is not None:
+            self._memory[key] = result
+        return result
+
+    def _store(self, key, result):
+        payload = {"format": _FORMAT, "key": key,
+                   "result": result.to_dict()}
+        # json.dumps preserves dict insertion order (see module doc).
+        blob = json.dumps(payload)
+        with self._connect() as conn:
+            conn.execute(
+                "INSERT INTO plans (key, format, payload) "
+                "VALUES (?, ?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET "
+                "format = excluded.format, payload = excluded.payload",
+                (key, _FORMAT, blob),
+            )
+        if self._memory is not None:
+            self._memory[key] = result
+
+    def clear(self):
+        if self._memory is not None:
+            self._memory.clear()
+        with self._connect() as conn:
+            conn.execute("DELETE FROM plans")
+
+    def __contains__(self, key):
+        if self._memory is not None and key in self._memory:
+            return True
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT 1 FROM plans WHERE key = ?", (key,)
+            ).fetchone()
+        return row is not None
+
+    def __len__(self):
+        with self._connect() as conn:
+            (count,) = conn.execute(
+                "SELECT COUNT(*) FROM plans"
+            ).fetchone()
+        return count
+
+    # -- cross-process exclusion ----------------------------------------
+
+    @contextlib.contextmanager
+    def lock(self, key):
+        """Exclusive advisory lock for compiling ``key``.
+
+        Blocks until no other process holds the key; the executor wraps
+        its check → simulate → store sequence in this, so each plan is
+        compiled exactly once however many servers race on it.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        self._lock_dir.mkdir(parents=True, exist_ok=True)
+        path = self._lock_dir / f"{key}.lock"
+        fd = os.open(str(path), os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)

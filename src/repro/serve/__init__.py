@@ -68,7 +68,24 @@ from repro.serve.dispatch import (
     ServiceProfile,
     select_cluster,
 )
-from repro.serve.engine import prepare_profiles, run_scenario, simulate_fleet
+from repro.serve.core import (
+    ADMITTED,
+    REJECTED,
+    REJECTED_WARMING,
+    EngineCore,
+)
+from repro.serve.engine import (
+    SimDriver,
+    prepare_profiles,
+    run_scenario,
+    simulate_fleet,
+)
+from repro.serve.live import (
+    LiveDriver,
+    LiveServer,
+    LiveWorkerPool,
+    run_live,
+)
 from repro.serve.queueing import (
     POLICIES,
     AdmissionQueue,
@@ -96,11 +113,19 @@ from repro.serve.schema import (
 from repro.serve.telemetry import serve_prom_text, write_telemetry
 
 __all__ = [
+    "ADMITTED",
     "AUTOSCALE_POLICIES",
     "CAPACITY_SCHEMA_PATH",
     "POLICIES",
+    "REJECTED",
+    "REJECTED_WARMING",
     "REPORT_SCHEMA_PATH",
     "AdmissionQueue",
+    "EngineCore",
+    "LiveDriver",
+    "LiveServer",
+    "LiveWorkerPool",
+    "SimDriver",
     "AutoscaleConfig",
     "Autoscaler",
     "BatchConfig",
@@ -125,6 +150,7 @@ __all__ = [
     "render_capacity_report",
     "render_report",
     "resolve_fleet_cluster",
+    "run_live",
     "run_scenario",
     "select_cluster",
     "serve_prom_text",

@@ -1,0 +1,453 @@
+"""The clock-agnostic serving engine core.
+
+Everything the serving stack *decides* — admission, batch coalescing,
+dispatch planning and routing, autoscale evaluation, SLO burn tracking,
+streamed telemetry — lives here, with no event loop of its own.  A
+*driver* owns the clock and the loop, hands the core a ``schedule``
+callback, and fires the core's ``handle_*`` methods as events come due:
+
+* :class:`~repro.serve.engine.SimDriver` — the discrete-event heapq
+  loop.  ``schedule`` pushes ``(time, priority, seq, handler, payload)``
+  heap entries; time is simulated seconds and the run is byte-
+  deterministic for a scenario + seed.
+* :class:`~repro.serve.live.LiveDriver` — the asyncio runtime behind
+  ``repro serve --live``.  ``schedule`` arms asyncio timers; time is
+  wall seconds since server start, arrivals come from HTTP instead of
+  seeded generators, and completions are paced to the simulated-
+  hardware batch times the core computes.
+
+The core never reads a clock and never sleeps: every ``now`` it sees is
+the timestamp the driver passed in.  That single constraint is what
+lets one body of logic produce byte-identical DES reports *and* serve
+live traffic.
+
+Event priorities order same-timestamp events: free cluster slots first,
+then admit new arrivals, then batch-window flushes, then autoscaler
+evaluations (so a tick observes the queue after same-instant
+admissions).
+
+``time_scale`` scales the simulated-hardware service times a live run
+accounts per batch (a demo knob: compress hours of FHE compute into
+seconds of wall clock).  At the default 1.0 the scaling multiply is
+skipped entirely, so DES report bytes cannot drift.
+"""
+
+from __future__ import annotations
+
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import inc as _metric_inc
+from repro.obs.streaming import (
+    StreamingHistogram,
+    StreamingIntervalUnion,
+    TimeWeightedValue,
+    TimeWeightedWindows,
+    WindowedCounter,
+)
+from repro.serve.autoscale import Autoscaler
+from repro.serve.dispatch import ClusterState, select_cluster
+from repro.serve.queueing import AdmissionQueue, Request, make_policy
+from repro.serve.scenario import resolve_fleet_cluster
+
+__all__ = [
+    "ADMITTED",
+    "P_ARRIVAL",
+    "P_AUTOSCALE",
+    "P_COMPLETE",
+    "P_FLUSH",
+    "REJECTED",
+    "REJECTED_WARMING",
+    "ClusterStats",
+    "EngineCore",
+    "TenantStats",
+]
+
+# Same-timestamp event priorities (see module docstring).
+P_COMPLETE, P_ARRIVAL, P_FLUSH, P_AUTOSCALE = 0, 1, 2, 3
+
+#: Admission outcomes returned by :meth:`EngineCore.handle_arrival`.
+#: The DES driver ignores them (the report carries the counts); the
+#: live driver maps them to HTTP responses (429 on either rejection).
+ADMITTED = "admitted"
+REJECTED = "rejected"
+REJECTED_WARMING = "rejected_warming"
+
+
+class TenantStats:
+    """Per-tenant streamed counters, latency sketch, and window series."""
+
+    __slots__ = ("arrivals", "rejected", "rejected_warming",
+                 "deadline_misses", "latency", "arrivals_w",
+                 "rejections_w", "completions_w", "misses_w",
+                 "latency_sum_w")
+
+    def __init__(self, duration, num_windows, exact):
+        self.arrivals = 0
+        self.rejected = 0
+        self.rejected_warming = 0
+        self.deadline_misses = 0
+        self.latency = StreamingHistogram(exact=exact)
+        self.arrivals_w = WindowedCounter(duration, num_windows)
+        self.rejections_w = WindowedCounter(duration, num_windows)
+        self.completions_w = WindowedCounter(duration, num_windows)
+        self.misses_w = WindowedCounter(duration, num_windows)
+        self.latency_sum_w = WindowedCounter(duration, num_windows)
+
+
+class ClusterStats:
+    """Per-cluster streamed busy accounting.
+
+    Compute intervals on one cluster never overlap (``compute_free_at``
+    is monotonic), so a running sum equals their union; I/O intervals
+    (full-duplex ingress/egress) can overlap, so their union streams
+    through :class:`StreamingIntervalUnion` — commits at time ``now``
+    only schedule phases starting at or after ``now``, which is
+    exactly the monotonic-release precondition.
+    """
+
+    __slots__ = ("compute_busy", "io_union", "busy_w")
+
+    def __init__(self, duration, num_windows):
+        self.compute_busy = 0.0
+        self.io_union = StreamingIntervalUnion()
+        self.busy_w = TimeWeightedWindows(duration, num_windows)
+
+
+class EngineCore:
+    """One fleet's serving decision logic, clock supplied by a driver.
+
+    ``schedule(time, priority, handler, payload)`` is the driver's
+    event-arming callback; the core calls it whenever a future event
+    (batch completion, window flush, autoscale tick) must fire, and the
+    driver later invokes ``handler(now, payload)`` at that time.  The
+    order of ``schedule`` calls is part of the DES byte-identity
+    contract — do not reorder them.
+    """
+
+    def __init__(self, scenario, fleet_name, profiles, schedule,
+                 exact=False, recorder=None, time_scale=1.0):
+        self.scenario = scenario
+        self.fleet_name = fleet_name
+        self.profiles = profiles
+        self.exact = bool(exact)
+        self._schedule = schedule
+        self.time_scale = float(time_scale)
+        #: autoscale ticks re-arm while ``next_tick <= horizon``; the
+        #: DES sets the scenario duration, the live driver +inf.
+        self.horizon = scenario.duration_seconds
+        self.tenants = {t.name: t for t in scenario.tenants}
+        self.queue = AdmissionQueue(policy=make_policy(scenario.policy),
+                                    max_queue=scenario.max_queue)
+        self.clusters = []
+        self.cluster_stats = []
+        self._replica_counts = {}
+        duration = scenario.duration_seconds
+        num_windows = scenario.telemetry.num_windows
+        for entry in scenario.fleets[fleet_name]:
+            self._add_cluster(entry, active_from=0.0, elastic=False)
+        autoscale = scenario.autoscale
+        if autoscale is not None and autoscale.applies_to(fleet_name):
+            self.autoscaler = Autoscaler(autoscale, scenario.tenants)
+            for _ in range(autoscale.min_replicas):
+                self._add_cluster(autoscale.cluster, active_from=0.0,
+                                  elastic=True)
+        else:
+            self.autoscaler = None
+        self.initial_replicas = sum(1 for c in self.clusters if c.elastic)
+        self.peak_replicas = self.initial_replicas
+        self.scale_events = []
+        self.stats = {
+            name: TenantStats(duration, num_windows, self.exact)
+            for name in self.tenants
+        }
+        self.recorder = (recorder if recorder is not None
+                         else FlightRecorder(scenario.telemetry
+                                             .recorder_events))
+        self.depth = TimeWeightedValue(duration, num_windows)
+        self.depth_series = [(0.0, 0)] if self.exact else None
+        self._batch_ids = 0
+        self._request_ids = 0
+        self._slo_burned = set()
+        self.last_completion = 0.0
+
+    # -- cluster pool ---------------------------------------------------
+
+    def _add_cluster(self, entry, active_from, elastic):
+        """Append one cluster replica (static at init, or scaled up)."""
+        _, spec = resolve_fleet_cluster(entry)
+        replica = self._replica_counts.get(entry, 0)
+        self._replica_counts[entry] = replica + 1
+        cluster = ClusterState(
+            index=len(self.clusters), name=entry, replica=replica,
+            spec=spec, mode=self.scenario.dispatch,
+            active_from=active_from, elastic=elastic,
+        )
+        self.clusters.append(cluster)
+        self.cluster_stats.append(ClusterStats(
+            self.scenario.duration_seconds,
+            self.scenario.telemetry.num_windows))
+        return cluster
+
+    def _active_elastic(self):
+        """Non-retired elastic replicas, in creation order."""
+        return [c for c in self.clusters
+                if c.elastic and c.retired_at is None]
+
+    def _record_depth(self, now):
+        depth = len(self.queue)
+        self.depth.update(now, depth)
+        if self.depth_series is not None:
+            self.depth_series.append((now, depth))
+
+    # -- request construction -------------------------------------------
+
+    def make_request(self, tenant, arrival):
+        """Build the next :class:`Request` for ``tenant`` at ``arrival``.
+
+        Request ids are assigned in creation order — the DES driver
+        creates them in event-push order, the live driver in HTTP
+        arrival order — so ids are deterministic per driver.
+        """
+        deadline = (None if tenant.deadline_seconds is None
+                    else arrival + tenant.deadline_seconds)
+        request = Request(id=self._request_ids, tenant=tenant.name,
+                          batch_key=tenant.batch_key, arrival=arrival,
+                          deadline=deadline)
+        self._request_ids += 1
+        return request
+
+    # -- handlers -------------------------------------------------------
+
+    def handle_arrival(self, now, request):
+        """Admit or reject one request; returns the admission outcome.
+
+        On admission the batch-window flush timer is armed and dispatch
+        runs immediately.  On rejection the outcome distinguishes hard
+        capacity (:data:`REJECTED`) from rejections taken while scaled-
+        up replicas were still warming and every warmed replica was
+        saturated (:data:`REJECTED_WARMING`) — the signal autoscaling-
+        aware shedding needs.
+        """
+        stats = self.stats[request.tenant]
+        stats.arrivals += 1
+        stats.arrivals_w.add(now)
+        _metric_inc("serve.arrivals", tenant=request.tenant)
+        if not self.queue.offer(request):
+            warming = self._rejected_while_warming(now)
+            stats.rejected += 1
+            stats.rejections_w.add(now)
+            _metric_inc("serve.rejected", tenant=request.tenant)
+            if warming:
+                stats.rejected_warming += 1
+                _metric_inc("serve.rejected_warming",
+                            tenant=request.tenant)
+                self.recorder.record("reject", now, tenant=request.tenant,
+                                     request=request.id,
+                                     reason="warming")
+                return REJECTED_WARMING
+            self.recorder.record("reject", now, tenant=request.tenant,
+                                 request=request.id)
+            return REJECTED
+        self.recorder.record("admit", now, tenant=request.tenant,
+                             request=request.id)
+        self._record_depth(now)
+        if self.scenario.batch.window_seconds > 0:
+            self._schedule(now + self.scenario.batch.window_seconds,
+                           P_FLUSH, self.handle_flush, request.batch_key)
+        self.try_dispatch(now)
+        return ADMITTED
+
+    def _rejected_while_warming(self, now):
+        """True when the reject landed during a warm-up gap.
+
+        A rejection counts as ``rejected_warming`` when at least one
+        elastic replica is still warming (scaled up, not yet
+        dispatchable) *and* no warmed replica has a free batch slot —
+        capacity is on the way, the request just could not wait for it.
+        """
+        warming = any(c.elastic and c.retired_at is None
+                      and not c.available(now)
+                      for c in self.clusters)
+        if not warming:
+            return False
+        return not any(c.available(now) and c.has_free_slot
+                       for c in self.clusters)
+
+    def handle_flush(self, now, _batch_key):
+        self.try_dispatch(now)
+
+    def handle_complete(self, now, payload):
+        cluster, batch, batch_id = payload
+        cluster.inflight -= 1
+        for request in batch:
+            stats = self.stats[request.tenant]
+            latency = now - request.arrival
+            stats.latency.add(latency)
+            stats.completions_w.add(now)
+            stats.latency_sum_w.add(now, latency)
+            _metric_inc("serve.completed", tenant=request.tenant)
+            missed = (request.deadline is not None
+                      and now > request.deadline)
+            if missed:
+                stats.deadline_misses += 1
+                stats.misses_w.add(now)
+                _metric_inc("serve.deadline_miss", tenant=request.tenant)
+                self._check_slo_burn(now, request, stats)
+            if self.autoscaler is not None:
+                self.autoscaler.observe_completion(request.tenant,
+                                                   latency, missed)
+        self.recorder.record("complete", now, batch=batch_id,
+                             cluster=cluster.label, size=len(batch))
+        self.last_completion = max(self.last_completion, now)
+        self.try_dispatch(now)
+
+    # -- autoscaling ----------------------------------------------------
+
+    def schedule_autoscaler(self):
+        """Arm the first autoscale tick (drivers call this once)."""
+        if self.autoscaler is None:
+            return
+        interval = self.autoscaler.config.evaluation_interval_seconds
+        if interval <= self.horizon:
+            self._schedule(interval, P_AUTOSCALE, self.handle_autoscale,
+                           None)
+
+    def handle_autoscale(self, now, _payload):
+        config = self.autoscaler.config
+        active = self._active_elastic()
+        delta, signal = self.autoscaler.evaluate(
+            now, len(self.queue), len(active))
+        target = max(config.min_replicas,
+                     min(config.max_replicas, len(active) + delta))
+        applied = target - len(active)
+        if applied > 0:
+            self._scale_up(now, applied, signal)
+        elif applied < 0:
+            self._scale_down(now, -applied, signal)
+        next_tick = now + config.evaluation_interval_seconds
+        if next_tick <= self.horizon:
+            self._schedule(next_tick, P_AUTOSCALE, self.handle_autoscale,
+                           None)
+
+    def _scale_up(self, now, count, signal):
+        config = self.autoscaler.config
+        ready_at = now + config.warmup_seconds
+        labels = []
+        for _ in range(count):
+            cluster = self._add_cluster(config.cluster,
+                                        active_from=ready_at,
+                                        elastic=True)
+            labels.append(cluster.label)
+        self.autoscaler.note_scaled(now)
+        self.peak_replicas = max(self.peak_replicas,
+                                 len(self._active_elastic()))
+        _metric_inc("serve.scale_up", count)
+        self.recorder.trigger("scale_up", now, policy=config.policy,
+                              signal=signal, clusters=labels,
+                              ready_at=ready_at)
+        self.scale_events.append({
+            "time": now, "action": "up", "policy": config.policy,
+            "signal": signal, "clusters": labels,
+            "active_replicas": len(self._active_elastic()),
+        })
+        # Kick dispatch the instant the new replicas finish warming up.
+        self._schedule(ready_at, P_FLUSH, self.handle_flush, None)
+
+    def _scale_down(self, now, count, signal):
+        config = self.autoscaler.config
+        labels = []
+        # Retire the most recently added replicas first (LIFO), so
+        # long-lived replicas keep their batch history and the pool
+        # composition stays deterministic.
+        for cluster in reversed(self._active_elastic()):
+            if len(labels) == count:
+                break
+            cluster.retire(now)
+            labels.append(cluster.label)
+        if not labels:
+            return
+        self.autoscaler.note_scaled(now)
+        _metric_inc("serve.scale_down", len(labels))
+        self.recorder.trigger("scale_down", now, policy=config.policy,
+                              signal=signal, clusters=labels)
+        self.scale_events.append({
+            "time": now, "action": "down", "policy": config.policy,
+            "signal": signal, "clusters": labels,
+            "active_replicas": len(self._active_elastic()),
+        })
+
+    def _check_slo_burn(self, now, request, stats):
+        """Trigger the flight recorder when a tenant's budget burns out."""
+        tenant = self.tenants[request.tenant]
+        if request.tenant in self._slo_burned:
+            return
+        completed = stats.latency.count
+        if completed and (stats.deadline_misses / completed
+                          > tenant.slo_budget):
+            self._slo_burned.add(request.tenant)
+            self.recorder.trigger("slo_budget_exceeded", now,
+                                  tenant=request.tenant,
+                                  request=request.id,
+                                  misses=stats.deadline_misses,
+                                  completed=completed)
+
+    # -- dispatch -------------------------------------------------------
+
+    def try_dispatch(self, now):
+        batch_cfg = self.scenario.batch
+        while True:
+            free = [c for c in self.clusters
+                    if c.available(now) and c.has_free_slot]
+            if not free:
+                return
+            batch = self.queue.take_batch(now, batch_cfg.max_requests,
+                                          batch_cfg.window_seconds)
+            if batch is None:
+                return
+            self._record_depth(now)
+            model, params_name = batch[0].batch_key
+            cts_in = sum(self.tenants[r.tenant].ciphertexts_in
+                         for r in batch)
+            cts_out = sum(self.tenants[r.tenant].ciphertexts_out
+                          for r in batch)
+            plans = []
+            for cluster in free:
+                profile = self.profiles[(model, params_name, cluster.name)]
+                t_in, t_c, t_out = profile.batch_times(
+                    len(batch), cts_in, cts_out, self.scenario.overheads)
+                if self.time_scale != 1.0:
+                    t_in *= self.time_scale
+                    t_c *= self.time_scale
+                    t_out *= self.time_scale
+                plans.append((cluster.plan_batch(now, t_in, t_c, t_out),
+                              cluster))
+            deadlines = [r.deadline for r in batch
+                         if r.deadline is not None]
+            schedule, cluster = select_cluster(
+                plans, self.scenario.routing,
+                min(deadlines) if deadlines else None)
+            cluster.commit_batch(schedule, len(batch))
+            _metric_inc("serve.batches", cluster=cluster.label)
+            _metric_inc("serve.batched_requests", len(batch),
+                        cluster=cluster.label)
+            batch_id = f"batch-{self._batch_ids:05d}"
+            self._batch_ids += 1
+            stats = self.cluster_stats[cluster.index]
+            stats.compute_busy += (schedule.compute_end
+                                   - schedule.compute_start)
+            stats.busy_w.add_interval(schedule.compute_start,
+                                      schedule.compute_end)
+            if schedule.ingress_end > schedule.ingress_start:
+                stats.io_union.add(schedule.ingress_start,
+                                   schedule.ingress_end, now=now)
+            if schedule.egress_end > schedule.egress_start:
+                stats.io_union.add(schedule.egress_start,
+                                   schedule.egress_end, now=now)
+            self.recorder.record(
+                "coalesce", now, batch=batch_id, size=len(batch),
+                model=model,
+                requests=[r.id for r in batch])
+            self.recorder.record(
+                "dispatch", now, batch=batch_id, cluster=cluster.label,
+                completion=schedule.completion)
+            self._schedule(schedule.completion, P_COMPLETE,
+                           self.handle_complete, (cluster, batch, batch_id))

@@ -1,11 +1,16 @@
-"""The serving event loop and the ``run_scenario`` entry point.
+"""The DES driver and the ``run_scenario`` entry point.
 
-The engine runs in the *simulated* clock domain of :mod:`repro.sim`:
-arrival times, queueing delays, batch phase times and completions are
+The decision logic — admission, coalescing, dispatch, autoscaling —
+lives in the clock-agnostic :class:`~repro.serve.core.EngineCore`; this
+module supplies the *simulated* clock that drives it for batch runs.
+:class:`SimDriver` owns the event heap and the seeded arrival
+generators, runs in the simulated clock domain of :mod:`repro.sim`
+(arrival times, queueing delays, batch phase times and completions are
 all simulated seconds, derived from Procedure-2 makespans of planned
-programs — wall-clock time never leaks into a report, which is what
-makes reports byte-identical across machines, worker counts, and cache
-hits.
+programs), and never lets wall-clock time leak into a report — which is
+what makes reports byte-identical across machines, worker counts, and
+cache hits.  ``repro serve --live`` swaps this driver for
+:class:`~repro.serve.live.LiveDriver` around the *same* core.
 
 Event order is a strict total order — ``(time, priority, sequence)``
 with completions before arrivals before flush timers at equal
@@ -29,18 +34,9 @@ from __future__ import annotations
 import heapq
 
 from repro.obs.flight import FlightRecorder
-from repro.obs.metrics import MetricsRegistry, inc as _metric_inc, use_registry
-from repro.obs.streaming import (
-    StreamingHistogram,
-    StreamingIntervalUnion,
-    TimeWeightedValue,
-    TimeWeightedWindows,
-    WindowedCounter,
-)
+from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.serve.arrivals import iter_arrivals
-from repro.serve.autoscale import Autoscaler
-from repro.serve.dispatch import ClusterState, select_cluster
-from repro.serve.queueing import AdmissionQueue, Request, make_policy
+from repro.serve.core import P_ARRIVAL, EngineCore
 from repro.serve.report import build_fleet_report, build_report
 from repro.serve.scenario import (
     Scenario,
@@ -49,12 +45,8 @@ from repro.serve.scenario import (
     resolve_fleet_cluster,
 )
 
-__all__ = ["prepare_profiles", "run_scenario", "simulate_fleet"]
-
-# Same-timestamp event priorities: free cluster slots first, then admit
-# new arrivals, then batch-window flushes, then autoscaler evaluations
-# (so a tick observes the queue after same-instant admissions).
-_P_COMPLETE, _P_ARRIVAL, _P_FLUSH, _P_AUTOSCALE = 0, 1, 2, 3
+__all__ = ["SimDriver", "prepare_profiles", "run_scenario",
+           "simulate_fleet"]
 
 
 def _ciphertext_bytes(params):
@@ -135,113 +127,26 @@ def prepare_profiles(scenario, fleet_names=None, jobs=1, cache=None,
     return profiles, outcome.manifest
 
 
-class _TenantStats:
-    """Per-tenant streamed counters, latency sketch, and window series."""
+class SimDriver:
+    """The discrete-event loop: a heapq clock around one EngineCore.
 
-    __slots__ = ("arrivals", "rejected", "deadline_misses", "latency",
-                 "arrivals_w", "rejections_w", "completions_w", "misses_w",
-                 "latency_sum_w")
-
-    def __init__(self, duration, num_windows, exact):
-        self.arrivals = 0
-        self.rejected = 0
-        self.deadline_misses = 0
-        self.latency = StreamingHistogram(exact=exact)
-        self.arrivals_w = WindowedCounter(duration, num_windows)
-        self.rejections_w = WindowedCounter(duration, num_windows)
-        self.completions_w = WindowedCounter(duration, num_windows)
-        self.misses_w = WindowedCounter(duration, num_windows)
-        self.latency_sum_w = WindowedCounter(duration, num_windows)
-
-
-class _ClusterStats:
-    """Per-cluster streamed busy accounting.
-
-    Compute intervals on one cluster never overlap (``compute_free_at``
-    is monotonic), so a running sum equals their union; I/O intervals
-    (full-duplex ingress/egress) can overlap, so their union streams
-    through :class:`StreamingIntervalUnion` — commits at simulated time
-    ``now`` only schedule phases starting at or after ``now``, which is
-    exactly the monotonic-release precondition.
+    Arrivals are generated lazily from the scenario's seeded processes
+    (one pending arrival per tenant in the heap); every other event the
+    core schedules through the driver's ``schedule`` callback lands in
+    the same heap.  The sequence counter assigns heap entries a strict
+    total order, so the execution trace — and therefore the report — is
+    a pure function of (scenario, seed).
     """
-
-    __slots__ = ("compute_busy", "io_union", "busy_w")
-
-    def __init__(self, duration, num_windows):
-        self.compute_busy = 0.0
-        self.io_union = StreamingIntervalUnion()
-        self.busy_w = TimeWeightedWindows(duration, num_windows)
-
-
-class _FleetEngine:
-    """One fleet's discrete-event serving simulation."""
 
     def __init__(self, scenario, fleet_name, profiles, exact=False,
                  recorder=None):
         self.scenario = scenario
-        self.fleet_name = fleet_name
-        self.profiles = profiles
-        self.exact = bool(exact)
-        self.tenants = {t.name: t for t in scenario.tenants}
-        self.queue = AdmissionQueue(policy=make_policy(scenario.policy),
-                                    max_queue=scenario.max_queue)
-        self.clusters = []
-        self.cluster_stats = []
-        self._replica_counts = {}
-        duration = scenario.duration_seconds
-        num_windows = scenario.telemetry.num_windows
-        for entry in scenario.fleets[fleet_name]:
-            self._add_cluster(entry, active_from=0.0, elastic=False)
-        autoscale = scenario.autoscale
-        if autoscale is not None and autoscale.applies_to(fleet_name):
-            self.autoscaler = Autoscaler(autoscale, scenario.tenants)
-            for _ in range(autoscale.min_replicas):
-                self._add_cluster(autoscale.cluster, active_from=0.0,
-                                  elastic=True)
-        else:
-            self.autoscaler = None
-        self.initial_replicas = sum(1 for c in self.clusters if c.elastic)
-        self.peak_replicas = self.initial_replicas
-        self.scale_events = []
-        self.stats = {
-            name: _TenantStats(duration, num_windows, self.exact)
-            for name in self.tenants
-        }
-        self.recorder = (recorder if recorder is not None
-                         else FlightRecorder(scenario.telemetry
-                                             .recorder_events))
-        self.depth = TimeWeightedValue(duration, num_windows)
-        self.depth_series = [(0.0, 0)] if self.exact else None
         self.heap = []
-        self._arrival_iters = {}
         self._seq = 0
-        self._batch_ids = 0
-        self._request_ids = 0
-        self._slo_burned = set()
-        self.last_completion = 0.0
-
-    # -- cluster pool ---------------------------------------------------
-
-    def _add_cluster(self, entry, active_from, elastic):
-        """Append one cluster replica (static at init, or scaled up)."""
-        _, spec = resolve_fleet_cluster(entry)
-        replica = self._replica_counts.get(entry, 0)
-        self._replica_counts[entry] = replica + 1
-        cluster = ClusterState(
-            index=len(self.clusters), name=entry, replica=replica,
-            spec=spec, mode=self.scenario.dispatch,
-            active_from=active_from, elastic=elastic,
-        )
-        self.clusters.append(cluster)
-        self.cluster_stats.append(_ClusterStats(
-            self.scenario.duration_seconds,
-            self.scenario.telemetry.num_windows))
-        return cluster
-
-    def _active_elastic(self):
-        """Non-retired elastic replicas, in creation order."""
-        return [c for c in self.clusters
-                if c.elastic and c.retired_at is None]
+        self._arrival_iters = {}
+        self.core = EngineCore(scenario, fleet_name, profiles,
+                               schedule=self._push, exact=exact,
+                               recorder=recorder)
 
     # -- event plumbing -------------------------------------------------
 
@@ -250,26 +155,18 @@ class _FleetEngine:
                                    payload))
         self._seq += 1
 
-    def _record_depth(self, now):
-        depth = len(self.queue)
-        self.depth.update(now, depth)
-        if self.depth_series is not None:
-            self.depth_series.append((now, depth))
-
-    # -- setup ----------------------------------------------------------
-
     def _push_next_arrival(self, tenant):
         """Schedule the tenant's next arrival (one in flight per tenant)."""
         t = next(self._arrival_iters[tenant.name], None)
         if t is None:
             return
-        deadline = (None if tenant.deadline_seconds is None
-                    else t + tenant.deadline_seconds)
-        request = Request(id=self._request_ids, tenant=tenant.name,
-                          batch_key=tenant.batch_key, arrival=t,
-                          deadline=deadline)
-        self._request_ids += 1
-        self._push(t, _P_ARRIVAL, self._on_arrival, (tenant, request))
+        request = self.core.make_request(tenant, t)
+        self._push(t, P_ARRIVAL, self._on_arrival, (tenant, request))
+
+    def _on_arrival(self, now, payload):
+        tenant, request = payload
+        self._push_next_arrival(tenant)
+        self.core.handle_arrival(now, request)
 
     def seed_arrivals(self):
         for tenant in self.scenario.tenants:
@@ -278,218 +175,23 @@ class _FleetEngine:
                 self.scenario.duration_seconds)
             self._push_next_arrival(tenant)
 
-    def seed_autoscaler(self):
-        if self.autoscaler is None:
-            return
-        interval = self.autoscaler.config.evaluation_interval_seconds
-        if interval <= self.scenario.duration_seconds:
-            self._push(interval, _P_AUTOSCALE, self._on_autoscale, None)
-
-    # -- handlers -------------------------------------------------------
-
-    def _on_arrival(self, now, payload):
-        tenant, request = payload
-        self._push_next_arrival(tenant)
-        stats = self.stats[request.tenant]
-        stats.arrivals += 1
-        stats.arrivals_w.add(now)
-        _metric_inc("serve.arrivals", tenant=request.tenant)
-        if not self.queue.offer(request):
-            stats.rejected += 1
-            stats.rejections_w.add(now)
-            _metric_inc("serve.rejected", tenant=request.tenant)
-            self.recorder.record("reject", now, tenant=request.tenant,
-                                 request=request.id)
-            return
-        self.recorder.record("admit", now, tenant=request.tenant,
-                             request=request.id)
-        self._record_depth(now)
-        if self.scenario.batch.window_seconds > 0:
-            self._push(now + self.scenario.batch.window_seconds,
-                       _P_FLUSH, self._on_flush, request.batch_key)
-        self._try_dispatch(now)
-
-    def _on_flush(self, now, _batch_key):
-        self._try_dispatch(now)
-
-    def _on_complete(self, now, payload):
-        cluster, batch, batch_id = payload
-        cluster.inflight -= 1
-        for request in batch:
-            stats = self.stats[request.tenant]
-            latency = now - request.arrival
-            stats.latency.add(latency)
-            stats.completions_w.add(now)
-            stats.latency_sum_w.add(now, latency)
-            _metric_inc("serve.completed", tenant=request.tenant)
-            missed = (request.deadline is not None
-                      and now > request.deadline)
-            if missed:
-                stats.deadline_misses += 1
-                stats.misses_w.add(now)
-                _metric_inc("serve.deadline_miss", tenant=request.tenant)
-                self._check_slo_burn(now, request, stats)
-            if self.autoscaler is not None:
-                self.autoscaler.observe_completion(request.tenant,
-                                                   latency, missed)
-        self.recorder.record("complete", now, batch=batch_id,
-                             cluster=cluster.label, size=len(batch))
-        self.last_completion = max(self.last_completion, now)
-        self._try_dispatch(now)
-
-    # -- autoscaling ----------------------------------------------------
-
-    def _on_autoscale(self, now, _payload):
-        config = self.autoscaler.config
-        active = self._active_elastic()
-        delta, signal = self.autoscaler.evaluate(
-            now, len(self.queue), len(active))
-        target = max(config.min_replicas,
-                     min(config.max_replicas, len(active) + delta))
-        applied = target - len(active)
-        if applied > 0:
-            self._scale_up(now, applied, signal)
-        elif applied < 0:
-            self._scale_down(now, -applied, signal)
-        next_tick = now + config.evaluation_interval_seconds
-        if next_tick <= self.scenario.duration_seconds:
-            self._push(next_tick, _P_AUTOSCALE, self._on_autoscale, None)
-
-    def _scale_up(self, now, count, signal):
-        config = self.autoscaler.config
-        ready_at = now + config.warmup_seconds
-        labels = []
-        for _ in range(count):
-            cluster = self._add_cluster(config.cluster,
-                                        active_from=ready_at,
-                                        elastic=True)
-            labels.append(cluster.label)
-        self.autoscaler.note_scaled(now)
-        self.peak_replicas = max(self.peak_replicas,
-                                 len(self._active_elastic()))
-        _metric_inc("serve.scale_up", count)
-        self.recorder.trigger("scale_up", now, policy=config.policy,
-                              signal=signal, clusters=labels,
-                              ready_at=ready_at)
-        self.scale_events.append({
-            "time": now, "action": "up", "policy": config.policy,
-            "signal": signal, "clusters": labels,
-            "active_replicas": len(self._active_elastic()),
-        })
-        # Kick dispatch the instant the new replicas finish warming up.
-        self._push(ready_at, _P_FLUSH, self._on_flush, None)
-
-    def _scale_down(self, now, count, signal):
-        config = self.autoscaler.config
-        labels = []
-        # Retire the most recently added replicas first (LIFO), so
-        # long-lived replicas keep their batch history and the pool
-        # composition stays deterministic.
-        for cluster in reversed(self._active_elastic()):
-            if len(labels) == count:
-                break
-            cluster.retire(now)
-            labels.append(cluster.label)
-        if not labels:
-            return
-        self.autoscaler.note_scaled(now)
-        _metric_inc("serve.scale_down", len(labels))
-        self.recorder.trigger("scale_down", now, policy=config.policy,
-                              signal=signal, clusters=labels)
-        self.scale_events.append({
-            "time": now, "action": "down", "policy": config.policy,
-            "signal": signal, "clusters": labels,
-            "active_replicas": len(self._active_elastic()),
-        })
-
-    def _check_slo_burn(self, now, request, stats):
-        """Trigger the flight recorder when a tenant's budget burns out."""
-        tenant = self.tenants[request.tenant]
-        if request.tenant in self._slo_burned:
-            return
-        completed = stats.latency.count
-        if completed and (stats.deadline_misses / completed
-                          > tenant.slo_budget):
-            self._slo_burned.add(request.tenant)
-            self.recorder.trigger("slo_budget_exceeded", now,
-                                  tenant=request.tenant,
-                                  request=request.id,
-                                  misses=stats.deadline_misses,
-                                  completed=completed)
-
-    # -- dispatch -------------------------------------------------------
-
-    def _try_dispatch(self, now):
-        batch_cfg = self.scenario.batch
-        while True:
-            free = [c for c in self.clusters
-                    if c.available(now) and c.has_free_slot]
-            if not free:
-                return
-            batch = self.queue.take_batch(now, batch_cfg.max_requests,
-                                          batch_cfg.window_seconds)
-            if batch is None:
-                return
-            self._record_depth(now)
-            model, params_name = batch[0].batch_key
-            cts_in = sum(self.tenants[r.tenant].ciphertexts_in
-                         for r in batch)
-            cts_out = sum(self.tenants[r.tenant].ciphertexts_out
-                          for r in batch)
-            plans = []
-            for cluster in free:
-                profile = self.profiles[(model, params_name, cluster.name)]
-                t_in, t_c, t_out = profile.batch_times(
-                    len(batch), cts_in, cts_out, self.scenario.overheads)
-                plans.append((cluster.plan_batch(now, t_in, t_c, t_out),
-                              cluster))
-            deadlines = [r.deadline for r in batch
-                         if r.deadline is not None]
-            schedule, cluster = select_cluster(
-                plans, self.scenario.routing,
-                min(deadlines) if deadlines else None)
-            cluster.commit_batch(schedule, len(batch))
-            _metric_inc("serve.batches", cluster=cluster.label)
-            _metric_inc("serve.batched_requests", len(batch),
-                        cluster=cluster.label)
-            batch_id = f"batch-{self._batch_ids:05d}"
-            self._batch_ids += 1
-            stats = self.cluster_stats[cluster.index]
-            stats.compute_busy += (schedule.compute_end
-                                   - schedule.compute_start)
-            stats.busy_w.add_interval(schedule.compute_start,
-                                      schedule.compute_end)
-            if schedule.ingress_end > schedule.ingress_start:
-                stats.io_union.add(schedule.ingress_start,
-                                   schedule.ingress_end, now=now)
-            if schedule.egress_end > schedule.egress_start:
-                stats.io_union.add(schedule.egress_start,
-                                   schedule.egress_end, now=now)
-            self.recorder.record(
-                "coalesce", now, batch=batch_id, size=len(batch),
-                model=model,
-                requests=[r.id for r in batch])
-            self.recorder.record(
-                "dispatch", now, batch=batch_id, cluster=cluster.label,
-                completion=schedule.completion)
-            self._push(schedule.completion, _P_COMPLETE,
-                       self._on_complete, (cluster, batch, batch_id))
-
     # -- main loop ------------------------------------------------------
 
     def run(self):
+        """Drain the event heap; returns the finished core."""
         self.seed_arrivals()
-        self.seed_autoscaler()
+        self.core.schedule_autoscaler()
         while self.heap:
             time, _priority, _seq, handler, payload = heapq.heappop(
                 self.heap)
             handler(time, payload)
-        if self.queue.pending:  # pragma: no cover - termination guard
+        if self.core.queue.pending:  # pragma: no cover - termination guard
             raise RuntimeError(
                 f"serving simulation ended with "
-                f"{len(self.queue.pending)} requests stuck in the queue"
+                f"{len(self.core.queue.pending)} requests stuck in the "
+                f"queue"
             )
-        return self
+        return self.core
 
 
 def simulate_fleet(scenario, fleet_name, profiles, exact=False,
@@ -503,9 +205,9 @@ def simulate_fleet(scenario, fleet_name, profiles, exact=False,
     """
     registry = MetricsRegistry()
     with use_registry(registry):
-        engine = _FleetEngine(scenario, fleet_name, profiles,
-                              exact=exact, recorder=recorder).run()
-    return build_fleet_report(engine, registry.snapshot())
+        core = SimDriver(scenario, fleet_name, profiles,
+                         exact=exact, recorder=recorder).run()
+    return build_fleet_report(core, registry.snapshot())
 
 
 def run_scenario(ref, seed=None, duration=None, dispatch=None, policy=None,

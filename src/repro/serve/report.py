@@ -172,6 +172,12 @@ def build_fleet_report(engine, metrics_snapshot):
             "slo": _tenant_slo(engine.tenants[name], stats),
             "windows": _tenant_windows(stats),
         }
+        # Warm-up-window rejections get a distinct reason so
+        # autoscaling-aware shedding can tell "capacity is coming" from
+        # hard capacity exhaustion.  The key is emitted only when the
+        # count is nonzero, keeping pre-elastic reports byte-identical.
+        if stats.rejected_warming:
+            tenants[name]["rejected_warming"] = stats.rejected_warming
 
     engine.depth.finish(horizon)
     queue = {

@@ -16,6 +16,7 @@ from repro.runtime import (
     DiskCache,
     MemoryCache,
     RunRequest,
+    SqlitePlanStore,
     default_cache,
     default_cache_dir,
     set_default_cache,
@@ -103,7 +104,7 @@ class TestDiskCache:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
         set_default_cache(None)
         try:
-            assert isinstance(default_cache(), DiskCache)
+            assert isinstance(default_cache(), SqlitePlanStore)
         finally:
             set_default_cache(None)
             monkeypatch.delenv("REPRO_CACHE_DIR")

@@ -19,7 +19,7 @@ from repro.serve import (
     simulate_fleet,
     write_telemetry,
 )
-from repro.serve.engine import _FleetEngine, prepare_profiles
+from repro.serve.engine import SimDriver, prepare_profiles
 from repro.serve.report import build_report
 from repro.serve.scenario import BatchConfig, Overheads, TelemetryConfig
 
@@ -123,8 +123,8 @@ class TestBoundedMemory:
         # ~90k requests; every resident aggregate must stay at its
         # configured size — sketch buckets, windows, ring, heap.
         scenario = _long_scenario()
-        engine = _FleetEngine(scenario, "f",
-                              _profiles_for(scenario)).run()
+        driver = SimDriver(scenario, "f", _profiles_for(scenario))
+        engine = driver.run()
         telemetry = scenario.telemetry
         total_arrivals = sum(s.arrivals for s in engine.stats.values())
         assert total_arrivals > 80000
@@ -139,7 +139,7 @@ class TestBoundedMemory:
         assert engine.recorder.dropped > 0
         for stats in engine.cluster_stats:
             assert stats.io_union.active_count <= 4
-        assert engine.heap == []  # fully drained, never the horizon
+        assert driver.heap == []  # fully drained, never the horizon
 
     def test_recorder_keeps_the_tail_and_first_trigger(self):
         scenario = _long_scenario()
