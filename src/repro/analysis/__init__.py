@@ -1,6 +1,7 @@
 """Analysis and reporting: the Table I census and table rendering."""
 
 from repro.analysis.gantt import render_gantt, trace_summary
+from repro.analysis.llm_levels import llm_levels_report, render_llm_levels
 from repro.analysis.ophist import level_histogram, op_histogram
 from repro.analysis.parallelism import parallelism_census, PAPER_TABLE1
 from repro.analysis.tables import format_table
@@ -9,8 +10,10 @@ __all__ = [
     "PAPER_TABLE1",
     "format_table",
     "level_histogram",
+    "llm_levels_report",
     "op_histogram",
     "parallelism_census",
     "render_gantt",
+    "render_llm_levels",
     "trace_summary",
 ]

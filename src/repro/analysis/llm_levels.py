@@ -1,0 +1,64 @@
+"""Per-token KV level accounting (``repro llm-levels``).
+
+An autoregressive session's cached K/V ciphertexts drop a fixed number
+of levels per generated token and get recharged by a bootstrap pass
+when the next step would underflow the bootstrap threshold (see
+:mod:`repro.llm.session`).  This report renders that trajectory —
+token by token — so the decode-phase level budget the serving engine
+charges is auditable without running a scenario.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+
+__all__ = ["llm_levels_report", "render_llm_levels"]
+
+LLM_LEVELS_SCHEMA = "repro.llm_levels/v1"
+
+
+def llm_levels_report(model="bert_base", tokens=16, max_level=None):
+    """Build the machine-readable levels-per-token report."""
+    from repro.ckks.params import PAPER_PARAMS
+    from repro.llm import levels_schedule, llm_info
+
+    if tokens < 1:
+        raise ValueError("tokens must be >= 1")
+    max_level = max_level or PAPER_PARAMS.max_level
+    info = llm_info(model, max_level=max_level)
+    rows = levels_schedule(max_level, tokens)
+    return {
+        "schema": LLM_LEVELS_SCHEMA,
+        "model": model,
+        "max_level": max_level,
+        "tokens": tokens,
+        "kv_ciphertexts": info.kv_ciphertexts,
+        "kv_level_start": info.kv_level_start,
+        "levels_per_token": info.levels_per_token,
+        "tokens_between_recharges": info.tokens_between_recharges,
+        "recharges": sum(1 for row in rows if row["recharge"]),
+        "schedule": rows,
+    }
+
+
+def render_llm_levels(report):
+    """Human-readable table for one levels-per-token report."""
+    header = (
+        f"{report['model']}: KV level budget over {report['tokens']} "
+        f"token(s)\n"
+        f"L={report['max_level']}, "
+        f"{report['kv_ciphertexts']} cached K/V ciphertexts, "
+        f"-{report['levels_per_token']} levels/token, recharge every "
+        f"{report['tokens_between_recharges']} tokens "
+        f"({report['recharges']} recharge(s) in this schedule)"
+    )
+    rows = [
+        (row["token"],
+         "prefill" if row["token"] == 1 else "decode",
+         row["level_before"], row["level_after"],
+         "bootstrap recharge" if row["recharge"] else "")
+        for row in report["schedule"]
+    ]
+    table = format_table(
+        ["Token", "Phase", "Level in", "Level out", "Event"], rows)
+    return header + "\n\n" + table

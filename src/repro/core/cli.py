@@ -53,11 +53,15 @@ Commands
     open-loop arrivals per tenant (Poisson, uniform, diurnal, flash
     crowd, MMPP), a bounded admission queue with the scenario's policy,
     batch coalescing, SLO-aware routing across heterogeneous fleets,
-    and autoscaled elastic replica pools.  Emits the deterministic
-    ``repro.serve/v3`` streaming SLO report (per-tenant p50/p95/p99
-    within a documented error bound, windowed rate/latency/burn-rate
-    series, queue depth, per-cluster utilization, goodput, card-second
-    fleet cost, scale-event timeline);
+    and autoscaled elastic replica pools.  ``kind: llm`` tenants add
+    multi-phase autoregressive sessions — a prompt prefill followed by
+    per-token decode steps with session-affine KV routing and
+    bootstrap recharges.  Emits the deterministic ``repro.serve/v3``
+    streaming SLO report (per-tenant p50/p95/p99 within a documented
+    error bound, windowed rate/latency/burn-rate series, queue depth,
+    per-cluster utilization, goodput, card-second fleet cost,
+    scale-event timeline) — ``repro.serve/v4`` with per-tenant TTFT
+    and inter-token percentiles when the scenario has LLM tenants;
     ``--telemetry-out DIR`` additionally writes ``report.json`` +
     ``metrics.prom`` (Prometheus text exposition) + ``events.jsonl``
     (flight-recorder ring); ``--validate`` checks the report against
@@ -71,7 +75,13 @@ Commands
     live runtime (:mod:`repro.serve.live`): a localhost HTTP API
     answering real encrypt→infer→decrypt requests on the functional
     CKKS substrate, with simulated-hardware latency accounted per
-    batch and a Prometheus ``/metrics`` endpoint.
+    batch and a Prometheus ``/metrics`` endpoint; LLM tenants stream
+    tokens over chunked HTTP from ``POST /v1/generate``.
+``llm-levels [-m MODEL] [--tokens N] [--max-level L] [--json]``
+    Per-token KV level accounting for one LLM serving session: the
+    level the cached K/V ciphertexts hold before/after every decode
+    step and where the bootstrap recharges land (see
+    :mod:`repro.llm.session`).
 ``capacity SCENARIO [--shapes S ...] [--max-replicas N] [--jobs N]
 [--backend B] [--seed N] [--duration S] [--json] [--out FILE]
 [--validate] [--golden FILE]``
@@ -296,6 +306,25 @@ def build_parser():
                          help="live mode: scale simulated-hardware "
                               "batch times by F (0.01 = 100x faster "
                               "than modeled; default 1.0)")
+
+    llm_levels_p = sub.add_parser(
+        "llm-levels",
+        help="per-token KV level budget of an LLM serving session")
+    llm_levels_p.add_argument("-m", "--model", default="bert_base",
+                              help="LLM benchmark name "
+                                   "(default bert_base)")
+    llm_levels_p.add_argument("--tokens", type=int, default=16,
+                              help="generated tokens incl. the prefill "
+                                   "token (default 16)")
+    llm_levels_p.add_argument("--max-level", type=int, default=None,
+                              help="override the CKKS level budget "
+                                   "(default: paper parameters)")
+    llm_levels_p.add_argument("--json", action="store_true",
+                              help="emit the repro.llm_levels/v1 report "
+                                   "as JSON")
+    llm_levels_p.add_argument("--out", default=None,
+                              help="write output to FILE instead of "
+                                   "stdout")
 
     capacity_p = sub.add_parser(
         "capacity",
@@ -713,11 +742,22 @@ def _cmd_serve(args, out):
     if args.list:
         from repro.serve import load_scenario
 
+        rows = []
         for name in builtin_scenarios():
             scenario = load_scenario(name)
-            tenants = ", ".join(t.name for t in scenario.tenants)
-            out(f"{name:22s} fleets={len(scenario.fleets)} "
-                f"policy={scenario.policy} tenants=[{tenants}]")
+            for tenant in scenario.tenants:
+                deadline = tenant.deadline_seconds
+                rows.append((
+                    name,
+                    tenant.name,
+                    tenant.model,
+                    tenant.kind,
+                    f"{tenant.process}@{tenant.rate_rps:g}/s",
+                    "-" if deadline is None else f"{deadline:g}s",
+                ))
+        out(format_table(
+            ["Scenario", "Tenant", "Model", "Kind", "Arrival", "SLO"],
+            rows))
         return 0
     if args.validate_scenarios:
         from repro.serve import validate_scenario_files
@@ -830,6 +870,22 @@ def _cmd_capacity(args, out):
     return 0
 
 
+def _cmd_llm_levels(args, out):
+    from repro.analysis import llm_levels_report, render_llm_levels
+
+    try:
+        report = llm_levels_report(model=args.model, tokens=args.tokens,
+                                   max_level=args.max_level)
+    except (KeyError, ValueError) as exc:
+        out(f"error: {exc}")
+        return 2
+    if args.json or args.out:
+        _emit_json(report, out, args.out)
+    else:
+        out(render_llm_levels(report))
+    return 0
+
+
 def _cmd_backend(args, out):
     from repro.backend import available_backends, default_backend_name
 
@@ -856,6 +912,7 @@ _COMMANDS = {
     "perf": _cmd_perf,
     "validate-ops": _cmd_validate_ops,
     "serve": _cmd_serve,
+    "llm-levels": _cmd_llm_levels,
     "capacity": _cmd_capacity,
     "backend": _cmd_backend,
 }

@@ -139,6 +139,14 @@ class HydraSystem:
         return self.cluster.total_cards
 
     def build_model(self, benchmark):
+        if "#" in benchmark:
+            # Phase-qualified LLM graphs ("bert_base#decode") resolve
+            # through repro.llm so worker processes can rebuild them
+            # from the qualified name alone; the CNN benchmark grid is
+            # untouched.
+            from repro.llm.profile import phase_model
+
+            return phase_model(benchmark)
         try:
             return BENCHMARKS[benchmark]()
         except KeyError:

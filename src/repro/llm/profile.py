@@ -1,0 +1,195 @@
+"""Phase-split transformer workloads for serving.
+
+A ``kind: llm`` tenant is priced with *three* service profiles per
+(model, params, cluster shape), all lowered through the same
+``repro.ir`` op vocabulary and planned via ``repro.runtime`` exactly
+like the CNN profiles — the plan store and fingerprints just work:
+
+``<model>#prefill``
+    The whole prompt batch through the encoder stack (PCMM-heavy: the
+    full ``seq x dim`` projection units).  Priced once per request and
+    linearly rescaled by the sampled prompt length at dispatch time.
+``<model>#decode``
+    One autoregressive step: a single query token attending over the
+    cached K/V ciphertexts (CCMM/FFN-heavy relative to its size).
+    Priced once per generated token.
+``<model>#recharge``
+    A bootstrap pass over every cached K/V ciphertext, scheduled when
+    the session's level budget runs out (see ``repro.llm.session``).
+
+Phase names resolve through ``HydraSystem.build_model`` via the ``#``
+hook, so worker processes rebuild the graph from the qualified name
+alone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.ckks.params import PAPER_PARAMS
+from repro.llm.session import (
+    kv_level_start,
+    tokens_between_recharges,
+)
+from repro.models.graph import ModelGraph, Step
+from repro.models.transformer import (
+    _SLOTS,
+    transformer_decode_graph,
+    transformer_graph,
+)
+
+__all__ = [
+    "LLM_MODELS",
+    "LLM_PHASES",
+    "LlmModelInfo",
+    "LlmSpec",
+    "llm_info",
+    "phase_model",
+    "profile_models",
+]
+
+LLM_PHASES = ("prefill", "decode", "recharge")
+
+
+@dataclass(frozen=True)
+class LlmSpec:
+    """Static shape of one transformer benchmark (Table I row)."""
+
+    name: str
+    display_name: str
+    layers: int
+    seq_len: int
+    hidden: int
+    ffn_dim: int
+    ccmm_units: int
+    activation_cts: int
+
+
+LLM_MODELS = {
+    "bert_base": LlmSpec(
+        name="bert_base",
+        display_name="BERT-base",
+        layers=12,
+        seq_len=128,
+        hidden=768,
+        ffn_dim=3072,
+        ccmm_units=384,
+        activation_cts=12,
+    ),
+    "opt_6_7b": LlmSpec(
+        name="opt_6_7b",
+        display_name="OPT-6.7B",
+        layers=32,
+        seq_len=200,
+        hidden=4096,
+        ffn_dim=16384,
+        ccmm_units=1000,
+        activation_cts=18,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class LlmModelInfo:
+    """Derived per-model constants the serving engine needs."""
+
+    model: str
+    context_tokens: int
+    #: cached key + value ciphertexts carried across decode steps
+    kv_ciphertexts: int
+    kv_level_start: int
+    levels_per_token: int
+    tokens_between_recharges: int
+    decode_ccmm_units: int
+
+
+def _decode_ccmm_units(spec):
+    """Per-step CCMM parallelism: the prefill value covers a
+    ``seq x seq`` score block; one decode step covers a ``1 x seq``
+    strip of it."""
+    return max(1, round(spec.ccmm_units / spec.seq_len))
+
+
+def llm_info(model, max_level=None):
+    """Serving-side constants for one LLM benchmark."""
+    spec = LLM_MODELS.get(model)
+    if spec is None:
+        raise KeyError(
+            f"unknown LLM model {model!r}; available: "
+            f"{', '.join(sorted(LLM_MODELS))}")
+    max_level = max_level or PAPER_PARAMS.max_level
+    from repro.llm.session import KV_LEVELS_PER_TOKEN
+    return LlmModelInfo(
+        model=model,
+        context_tokens=spec.seq_len,
+        kv_ciphertexts=2 * spec.layers * spec.activation_cts,
+        kv_level_start=kv_level_start(max_level),
+        levels_per_token=KV_LEVELS_PER_TOKEN,
+        tokens_between_recharges=tokens_between_recharges(max_level),
+        decode_ccmm_units=_decode_ccmm_units(spec),
+    )
+
+
+def profile_models(model):
+    """The qualified graph names a ``kind: llm`` tenant is planned
+    with."""
+    if model not in LLM_MODELS:
+        raise KeyError(f"unknown LLM model {model!r}")
+    return tuple(f"{model}#{phase}" for phase in LLM_PHASES)
+
+
+def _recharge_graph(name, spec, max_level):
+    """Bootstrap every cached K/V ciphertext back to full level."""
+    graph = ModelGraph(
+        name=name,
+        display_name=f"{spec.display_name} (KV recharge)",
+    )
+    graph.add(Step(
+        kind="bootstrap",
+        name="kv_recharge",
+        procedure="Boot",
+        level=max_level,
+        jobs=2 * spec.layers * spec.activation_cts,
+        slots_log=int(math.log2(_SLOTS)),
+    ))
+    return graph
+
+
+def phase_model(qualified, max_level=None):
+    """Build the graph for a ``model#phase`` qualified name."""
+    model, sep, phase = qualified.partition("#")
+    if not sep or phase not in LLM_PHASES:
+        raise KeyError(
+            f"expected '<model>#<phase>' with phase in "
+            f"{'/'.join(LLM_PHASES)}, got {qualified!r}")
+    spec = LLM_MODELS.get(model)
+    if spec is None:
+        raise KeyError(
+            f"unknown LLM model {model!r}; available: "
+            f"{', '.join(sorted(LLM_MODELS))}")
+    max_level = max_level or PAPER_PARAMS.max_level
+    if phase == "prefill":
+        return transformer_graph(
+            name=qualified,
+            display_name=f"{spec.display_name} (prefill)",
+            layers=spec.layers,
+            seq_len=spec.seq_len,
+            hidden=spec.hidden,
+            ffn_dim=spec.ffn_dim,
+            ccmm_units=spec.ccmm_units,
+            activation_cts=spec.activation_cts,
+            max_level=max_level,
+        )
+    if phase == "decode":
+        return transformer_decode_graph(
+            name=qualified,
+            display_name=f"{spec.display_name} (decode step)",
+            layers=spec.layers,
+            context_tokens=spec.seq_len,
+            hidden=spec.hidden,
+            ffn_dim=spec.ffn_dim,
+            ccmm_units=_decode_ccmm_units(spec),
+            max_level=max_level,
+        )
+    return _recharge_graph(qualified, spec, max_level)

@@ -20,7 +20,12 @@ import math
 from repro.ckks.params import PAPER_PARAMS
 from repro.models.graph import ModelGraph, Step
 
-__all__ = ["bert_base", "opt_6_7b", "transformer_graph"]
+__all__ = [
+    "bert_base",
+    "opt_6_7b",
+    "transformer_decode_graph",
+    "transformer_graph",
+]
 
 _SLOTS = PAPER_PARAMS.slot_count
 _SOFTMAX_DEGREE = 9
@@ -143,6 +148,123 @@ def transformer_graph(
         pcmm(seq_len * ffn_dim, ffn_anchor, "FFN")
         nonlinear(_GELU_DEGREE, "FFN")  # GeLU
         pcmm(seq_len * hidden, proj_anchor, "FFN")
+        norm()
+    return graph
+
+
+def transformer_decode_graph(
+    name,
+    display_name,
+    layers,
+    context_tokens,
+    hidden,
+    ffn_dim,
+    ccmm_units,
+    max_level=None,
+):
+    """Build one autoregressive decode step of a transformer.
+
+    A single query token attends over a ``context_tokens``-deep cache of
+    key/value ciphertexts.  Relative to the prompt-batch (prefill) graph
+    the PCMMs shrink from ``seq_len x dim`` to ``1 x dim`` units, the
+    CCMM score/value matmuls cover a ``1 x context`` strip instead of a
+    ``seq x seq`` block (``ccmm_units`` here is the *per-step* measured
+    parallelism, not the prefill value), and the live activations fit in
+    a single ciphertext.  Level accounting is identical to the prefill
+    graph so bootstrap placement follows the same depth budget.
+    """
+    max_level = max_level or PAPER_PARAMS.max_level
+    graph = ModelGraph(name=name, display_name=display_name)
+    decode_cts = 1  # a single token's activations fit one ciphertext
+    level = max_level - 1
+    counter = [0]
+
+    def step_name(prefix):
+        counter[0] += 1
+        return f"{prefix}_{counter[0]}"
+
+    def maybe_boot(needed):
+        nonlocal level
+        if level - needed < _BOOT_THRESHOLD:
+            graph.add(Step(
+                kind="bootstrap",
+                name=step_name("boot"),
+                procedure="Boot",
+                level=max_level,
+                jobs=decode_cts,
+                slots_log=int(math.log2(_SLOTS)),
+            ))
+            level = max_level - _BOOT_CONSUMES
+
+    def pcmm(raw_units, anchored_units, tag):
+        nonlocal level
+        maybe_boot(_MATMUL_LEVELS)
+        units = min(raw_units, anchored_units)
+        graph.add(Step(
+            kind="pcmm",
+            name=step_name("pcmm"),
+            procedure=tag,
+            level=level,
+            units=units,
+            unit_work=raw_units / units,
+            output_ciphertexts=decode_cts,
+        ))
+        level -= _MATMUL_LEVELS
+
+    def ccmm(tag):
+        nonlocal level
+        maybe_boot(2 * _MATMUL_LEVELS)
+        graph.add(Step(
+            kind="ccmm",
+            name=step_name("ccmm"),
+            procedure=tag,
+            level=level,
+            units=ccmm_units,
+            output_ciphertexts=decode_cts,
+        ))
+        level -= 2 * _MATMUL_LEVELS
+
+    def nonlinear(degree, tag):
+        nonlocal level
+        maybe_boot(_NONLINEAR_LEVELS)
+        graph.add(Step(
+            kind="nonlinear",
+            name=step_name(tag.lower()),
+            procedure=tag,
+            level=level,
+            jobs=4 * decode_cts,
+            degree=degree,
+        ))
+        level -= _NONLINEAR_LEVELS
+
+    def norm():
+        nonlocal level
+        maybe_boot(_NORM_LEVELS)
+        graph.add(Step(
+            kind="norm",
+            name=step_name("norm"),
+            procedure="Norm",
+            level=level,
+            jobs=4 * decode_cts,
+            degree=_NORM_DEGREE,
+        ))
+        level -= _NORM_LEVELS
+
+    del context_tokens  # folded into the caller-derived ccmm_units
+    proj_anchor = min(hidden, _ANCHOR_WIDTH)
+    ffn_anchor = min(ffn_dim, 4 * _ANCHOR_WIDTH)
+    for _ in range(layers):
+        # --- Attention block (query strip over the KV cache) ----------
+        pcmm(3 * hidden, 3 * proj_anchor, "Attention")  # fused Q, K, V
+        ccmm("Attention")  # scores: q K^T over the cached keys
+        nonlinear(_SOFTMAX_DEGREE, "Attention")
+        ccmm("Attention")  # scores x cached values
+        pcmm(hidden, proj_anchor, "Attention")  # output projection
+        norm()
+        # --- Feed-forward block ---------------------------------------
+        pcmm(ffn_dim, ffn_anchor, "FFN")
+        nonlinear(_GELU_DEGREE, "FFN")
+        pcmm(hidden, proj_anchor, "FFN")
         norm()
     return graph
 

@@ -343,6 +343,34 @@ def _make_serve_stream_workload():
     )
 
 
+def _serve_llm_state(_seed):
+    from repro.serve import load_scenario, prepare_profiles
+
+    # The chat scenario exercises the multi-phase LLM path: prefill
+    # batches opening sessions, decode continuations re-entering
+    # admission with KV level bookkeeping, bootstrap recharges, and
+    # session-affine routing across two Hydra-L replicas.
+    scenario = load_scenario("llm_chat_hydra_l")
+    profiles, _ = prepare_profiles(scenario, use_cache=False)
+    return {"scenario": scenario, "profiles": profiles}
+
+
+def _run_serve_llm(state):
+    from repro.serve import simulate_fleet
+
+    return simulate_fleet(state["scenario"], "hydra-l", state["profiles"])
+
+
+def _make_serve_llm_workload():
+    return PerfWorkload(
+        name="serve.llm.chat",
+        description="serving DES, llm_chat_hydra_l LLM sessions "
+                    "(prefill/decode/recharge), 20 min horizon",
+        setup=_serve_llm_state,
+        run=_run_serve_llm,
+    )
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
@@ -357,6 +385,7 @@ def _build_suite():
     workloads.append(_make_sim_workload())
     workloads.append(_make_serve_workload())
     workloads.append(_make_serve_stream_workload())
+    workloads.append(_make_serve_llm_workload())
     return {w.name: w for w in workloads}
 
 

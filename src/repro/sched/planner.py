@@ -150,8 +150,11 @@ class Planner:
         ``TraceEvent`` stream for the whole run (Gantt / Chrome-trace
         material; costs memory proportional to task count).
         """
+        # Phase-qualified LLM graphs ("bert_base#prefill") share the base
+        # model's packing calibration — the phase split changes the step
+        # mix, not the ciphertext-packing efficiency.
         scale = model.work_scale * self.calibration.work_scale.get(
-            model.name, 1.0
+            model.name.partition("#")[0], 1.0
         )
         result = ModelRunResult(
             model_name=model.name, cluster_name=self.cluster.name

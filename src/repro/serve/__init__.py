@@ -92,7 +92,12 @@ from repro.serve.queueing import (
     Request,
     make_policy,
 )
-from repro.serve.report import percentile, render_report
+from repro.serve.report import (
+    REPORT_SCHEMA,
+    REPORT_SCHEMA_LLM,
+    percentile,
+    render_report,
+)
 from repro.serve.scenario import (
     BatchConfig,
     Overheads,
@@ -119,6 +124,8 @@ __all__ = [
     "POLICIES",
     "REJECTED",
     "REJECTED_WARMING",
+    "REPORT_SCHEMA",
+    "REPORT_SCHEMA_LLM",
     "REPORT_SCHEMA_PATH",
     "AdmissionQueue",
     "EngineCore",

@@ -46,7 +46,7 @@ from repro.obs.streaming import (
 from repro.serve.autoscale import Autoscaler
 from repro.serve.dispatch import ClusterState, select_cluster
 from repro.serve.queueing import AdmissionQueue, Request, make_policy
-from repro.serve.scenario import resolve_fleet_cluster
+from repro.serve.scenario import params_preset, resolve_fleet_cluster
 
 __all__ = [
     "ADMITTED",
@@ -73,14 +73,22 @@ REJECTED_WARMING = "rejected_warming"
 
 
 class TenantStats:
-    """Per-tenant streamed counters, latency sketch, and window series."""
+    """Per-tenant streamed counters, latency sketch, and window series.
+
+    LLM tenants additionally carry token-streaming sketches: time to
+    first token (prefill completion), inter-token latency, and session
+    / recharge / migration counters.  For CNN tenants those fields stay
+    None/0 and never reach the report.
+    """
 
     __slots__ = ("arrivals", "rejected", "rejected_warming",
                  "deadline_misses", "latency", "arrivals_w",
                  "rejections_w", "completions_w", "misses_w",
-                 "latency_sum_w")
+                 "latency_sum_w", "ttft", "inter_token", "tokens",
+                 "decode_steps", "recharges", "sessions_completed",
+                 "sessions_aborted", "kv_migrations")
 
-    def __init__(self, duration, num_windows, exact):
+    def __init__(self, duration, num_windows, exact, llm=False):
         self.arrivals = 0
         self.rejected = 0
         self.rejected_warming = 0
@@ -91,6 +99,14 @@ class TenantStats:
         self.completions_w = WindowedCounter(duration, num_windows)
         self.misses_w = WindowedCounter(duration, num_windows)
         self.latency_sum_w = WindowedCounter(duration, num_windows)
+        self.ttft = StreamingHistogram(exact=exact) if llm else None
+        self.inter_token = StreamingHistogram(exact=exact) if llm else None
+        self.tokens = 0
+        self.decode_steps = 0
+        self.recharges = 0
+        self.sessions_completed = 0
+        self.sessions_aborted = 0
+        self.kv_migrations = 0
 
 
 class ClusterStats:
@@ -156,9 +172,31 @@ class EngineCore:
         self.peak_replicas = self.initial_replicas
         self.scale_events = []
         self.stats = {
-            name: TenantStats(duration, num_windows, self.exact)
-            for name in self.tenants
+            name: TenantStats(duration, num_windows, self.exact,
+                              llm=tenant.kind == "llm")
+            for name, tenant in self.tenants.items()
         }
+        llm_tenants = [t for t in scenario.tenants if t.kind == "llm"]
+        if llm_tenants:
+            from repro.llm import TokenSampler, llm_info
+
+            self.llm_info = {t.model: llm_info(t.model)
+                             for t in llm_tenants}
+            self._token_samplers = {
+                t.name: TokenSampler(t.name, scenario.seed,
+                                     t.prompt_token_options,
+                                     t.output_token_options)
+                for t in llm_tenants
+            }
+        else:
+            self.llm_info = {}
+            self._token_samplers = {}
+        #: open LLM sessions: session id -> KV/session bookkeeping
+        self._sessions = {}
+        #: live-driver hook, called as ``token_sink(now, request,
+        #: done=..., aborted=...)`` for every generated token.  None in
+        #: DES runs — tokens only reach the report through TenantStats.
+        self.token_sink = None
         self.recorder = (recorder if recorder is not None
                          else FlightRecorder(scenario.telemetry
                                              .recorder_events))
@@ -209,9 +247,26 @@ class EngineCore:
         """
         deadline = (None if tenant.deadline_seconds is None
                     else arrival + tenant.deadline_seconds)
-        request = Request(id=self._request_ids, tenant=tenant.name,
-                          batch_key=tenant.batch_key, arrival=arrival,
-                          deadline=deadline)
+        if tenant.kind == "llm":
+            # One arrival = one session: sample its prompt and output
+            # lengths now (creation order keeps the draws
+            # deterministic) and enter admission as a prefill request.
+            # The deadline covers the whole session.
+            sampler = self._token_samplers[tenant.name]
+            prompt_tokens = sampler.next_prompt()
+            output_tokens = sampler.next_output()
+            request = Request(id=self._request_ids, tenant=tenant.name,
+                              batch_key=tenant.batch_key,
+                              arrival=arrival, deadline=deadline,
+                              phase="prefill",
+                              session=self._request_ids,
+                              token_index=1,
+                              tokens_total=output_tokens,
+                              prompt_tokens=prompt_tokens)
+        else:
+            request = Request(id=self._request_ids, tenant=tenant.name,
+                              batch_key=tenant.batch_key,
+                              arrival=arrival, deadline=deadline)
         self._request_ids += 1
         return request
 
@@ -226,7 +281,13 @@ class EngineCore:
         up replicas were still warming and every warmed replica was
         saturated (:data:`REJECTED_WARMING`) — the signal autoscaling-
         aware shedding needs.
+
+        Decode continuations re-enter admission through this handler
+        too, but do not count as tenant arrivals (the session did, at
+        prefill time).
         """
+        if request.phase == "decode":
+            return self._handle_decode_arrival(now, request)
         stats = self.stats[request.tenant]
         stats.arrivals += 1
         stats.arrivals_w.add(now)
@@ -249,6 +310,35 @@ class EngineCore:
             return REJECTED
         self.recorder.record("admit", now, tenant=request.tenant,
                              request=request.id)
+        self._record_depth(now)
+        if self.scenario.batch.window_seconds > 0:
+            self._schedule(now + self.scenario.batch.window_seconds,
+                           P_FLUSH, self.handle_flush, request.batch_key)
+        self.try_dispatch(now)
+        return ADMITTED
+
+    def _handle_decode_arrival(self, now, request):
+        """Admit one decode continuation; rejects abort the session.
+
+        A decode step shed at admission drops the session's KV
+        ciphertexts — no further tokens can flow, so the whole session
+        aborts (counted separately from arrival rejections).
+        """
+        stats = self.stats[request.tenant]
+        if not self.queue.offer(request):
+            self._sessions.pop(request.session, None)
+            stats.sessions_aborted += 1
+            _metric_inc("serve.sessions_aborted", tenant=request.tenant)
+            self.recorder.record("session_abort", now,
+                                 tenant=request.tenant,
+                                 session=request.session,
+                                 token=request.token_index)
+            if self.token_sink is not None:
+                self.token_sink(now, request, aborted=True)
+            return REJECTED
+        self.recorder.record("decode", now, tenant=request.tenant,
+                             request=request.id, session=request.session,
+                             token=request.token_index)
         self._record_depth(now)
         if self.scenario.batch.window_seconds > 0:
             self._schedule(now + self.scenario.batch.window_seconds,
@@ -279,26 +369,123 @@ class EngineCore:
         cluster, batch, batch_id = payload
         cluster.inflight -= 1
         for request in batch:
-            stats = self.stats[request.tenant]
-            latency = now - request.arrival
-            stats.latency.add(latency)
-            stats.completions_w.add(now)
-            stats.latency_sum_w.add(now, latency)
-            _metric_inc("serve.completed", tenant=request.tenant)
-            missed = (request.deadline is not None
-                      and now > request.deadline)
-            if missed:
-                stats.deadline_misses += 1
-                stats.misses_w.add(now)
-                _metric_inc("serve.deadline_miss", tenant=request.tenant)
-                self._check_slo_burn(now, request, stats)
-            if self.autoscaler is not None:
-                self.autoscaler.observe_completion(request.tenant,
-                                                   latency, missed)
+            if request.phase is None:
+                self._account_completion(now, request)
+            else:
+                self._complete_llm_step(now, request, cluster)
         self.recorder.record("complete", now, batch=batch_id,
                              cluster=cluster.label, size=len(batch))
         self.last_completion = max(self.last_completion, now)
         self.try_dispatch(now)
+
+    def _account_completion(self, now, request, arrival=None):
+        """Whole-request accounting: a CNN request or a full LLM
+        session (measured from the session's arrival to its last
+        token)."""
+        stats = self.stats[request.tenant]
+        latency = now - (request.arrival if arrival is None else arrival)
+        stats.latency.add(latency)
+        stats.completions_w.add(now)
+        stats.latency_sum_w.add(now, latency)
+        _metric_inc("serve.completed", tenant=request.tenant)
+        missed = (request.deadline is not None
+                  and now > request.deadline)
+        if missed:
+            stats.deadline_misses += 1
+            stats.misses_w.add(now)
+            _metric_inc("serve.deadline_miss", tenant=request.tenant)
+            self._check_slo_burn(now, request, stats)
+        if self.autoscaler is not None:
+            self.autoscaler.observe_completion(request.tenant,
+                                               latency, missed)
+
+    # -- LLM sessions ---------------------------------------------------
+
+    def _complete_llm_step(self, now, request, cluster):
+        """One finished prefill or decode batch member."""
+        stats = self.stats[request.tenant]
+        if request.phase == "prefill":
+            # Prefill emits the first token and pins the session's KV
+            # ciphertexts to the cluster that computed them.
+            stats.ttft.add(now - request.arrival)
+            stats.tokens += 1
+            _metric_inc("serve.tokens", tenant=request.tenant)
+            done = request.tokens_total <= 1
+            if self.token_sink is not None:
+                self.token_sink(now, request, done=done)
+            if done:
+                self._finish_session(now, request, request.arrival)
+                return
+            tenant = self.tenants[request.tenant]
+            from repro.llm import KvSession
+
+            self._sessions[request.session] = {
+                "tenant": request.tenant,
+                "arrival": request.arrival,
+                "deadline": request.deadline,
+                "tokens_total": request.tokens_total,
+                "last_token": now,
+                "kv_cluster": cluster.index,
+                "kv": KvSession(params_preset(tenant.params).max_level),
+            }
+            self._schedule_decode(now, request.session,
+                                  request.token_index + 1)
+            return
+        session = self._sessions.get(request.session)
+        if session is None:  # pragma: no cover - defensive
+            return
+        inter_token = now - session["last_token"]
+        session["last_token"] = now
+        stats.inter_token.add(inter_token)
+        stats.tokens += 1
+        stats.decode_steps += 1
+        _metric_inc("serve.tokens", tenant=request.tenant)
+        _metric_inc("serve.decode_steps", tenant=request.tenant)
+        if request.recharge:
+            stats.recharges += 1
+            _metric_inc("serve.kv_recharges", tenant=request.tenant)
+        done = request.token_index >= request.tokens_total
+        if self.token_sink is not None:
+            self.token_sink(now, request, done=done)
+        if done:
+            arrival = session["arrival"]
+            del self._sessions[request.session]
+            self._finish_session(now, request, arrival)
+        else:
+            self._schedule_decode(now, request.session,
+                                  request.token_index + 1)
+
+    def _finish_session(self, now, request, arrival):
+        """Last token out: close the session and account the whole
+        request."""
+        stats = self.stats[request.tenant]
+        stats.sessions_completed += 1
+        _metric_inc("serve.sessions_completed", tenant=request.tenant)
+        self.recorder.record("session_end", now, tenant=request.tenant,
+                             session=request.session,
+                             tokens=request.tokens_total)
+        self._account_completion(now, request, arrival=arrival)
+
+    def _schedule_decode(self, now, session_id, token_index):
+        """Arm the next decode continuation as a follow-on arrival.
+
+        The batch key pins the session's current KV cluster, which is
+        what session-affine dispatch keys on; the KV level advances
+        here (request-creation order), so recharge placement is
+        deterministic.
+        """
+        session = self._sessions[session_id]
+        tenant = self.tenants[session["tenant"]]
+        recharge = session["kv"].advance()
+        request = Request(
+            id=self._request_ids, tenant=tenant.name,
+            batch_key=(f"{tenant.model}#decode", tenant.params,
+                       session["kv_cluster"]),
+            arrival=now, deadline=session["deadline"], phase="decode",
+            session=session_id, token_index=token_index,
+            tokens_total=session["tokens_total"], recharge=recharge)
+        self._request_ids += 1
+        self._schedule(now, P_ARRIVAL, self.handle_arrival, request)
 
     # -- autoscaling ----------------------------------------------------
 
@@ -392,39 +579,114 @@ class EngineCore:
 
     # -- dispatch -------------------------------------------------------
 
+    def _key_dispatchable(self, key, free_idx):
+        """Session-affine decode keys wait for their KV cluster.
+
+        A decode batch whose KV cluster is alive but busy must stay in
+        the queue (extracting it would force either a stall or a
+        migration the routing mode forbids); once the KV cluster is
+        retired, any cluster may take the batch (forced migration).
+        """
+        if len(key) < 3 or not self.scenario.routing.session_affinity:
+            return True
+        kv_cluster = self.clusters[key[2]]
+        if kv_cluster.retired_at is not None:
+            return True
+        return key[2] in free_idx
+
     def try_dispatch(self, now):
         batch_cfg = self.scenario.batch
+        routing = self.scenario.routing
         while True:
             free = [c for c in self.clusters
                     if c.available(now) and c.has_free_slot]
             if not free:
                 return
+            dispatchable = None
+            if self.llm_info:
+                free_idx = {c.index for c in free}
+
+                def dispatchable(key, _free=free_idx):
+                    return self._key_dispatchable(key, _free)
+
             batch = self.queue.take_batch(now, batch_cfg.max_requests,
-                                          batch_cfg.window_seconds)
+                                          batch_cfg.window_seconds,
+                                          dispatchable=dispatchable)
             if batch is None:
                 return
             self._record_depth(now)
-            model, params_name = batch[0].batch_key
-            cts_in = sum(self.tenants[r.tenant].ciphertexts_in
-                         for r in batch)
-            cts_out = sum(self.tenants[r.tenant].ciphertexts_out
-                          for r in batch)
+            key = batch[0].batch_key
+            model, params_name = key[0], key[1]
+            base_model, _, phase = model.partition("#")
+            phase = phase or None
+            if phase == "decode":
+                # A decode step stages one query/token ciphertext each
+                # way per session.
+                cts_in = cts_out = len(batch)
+                kv_index = key[2]
+                info = self.llm_info[base_model]
+                affine = (routing.session_affinity
+                          and self.clusters[kv_index].retired_at is None)
+                candidates = ([c for c in free if c.index == kv_index]
+                              if affine else free)
+                recharging = sum(1 for r in batch if r.recharge)
+            else:
+                cts_in = sum(self.tenants[r.tenant].ciphertexts_in
+                             for r in batch)
+                cts_out = sum(self.tenants[r.tenant].ciphertexts_out
+                              for r in batch)
+                kv_index = None
+                candidates = free
             plans = []
-            for cluster in free:
+            batch_times = {}
+            for cluster in candidates:
                 profile = self.profiles[(model, params_name, cluster.name)]
                 t_in, t_c, t_out = profile.batch_times(
                     len(batch), cts_in, cts_out, self.scenario.overheads)
+                if phase == "prefill":
+                    # The profile prices the model's native context;
+                    # rescale to the batch's sampled prompt lengths.
+                    info = self.llm_info[base_model]
+                    t_c *= (sum(r.prompt_tokens for r in batch)
+                            / (len(batch) * info.context_tokens))
+                elif phase == "decode" and recharging:
+                    recharge = self.profiles[
+                        (f"{base_model}#recharge", params_name,
+                         cluster.name)]
+                    t_c += recharging * recharge.compute_seconds
                 if self.time_scale != 1.0:
                     t_in *= self.time_scale
                     t_c *= self.time_scale
                     t_out *= self.time_scale
+                batch_times[cluster.index] = (t_in, t_c, t_out)
                 plans.append((cluster.plan_batch(now, t_in, t_c, t_out),
                               cluster))
             deadlines = [r.deadline for r in batch
                          if r.deadline is not None]
             schedule, cluster = select_cluster(
-                plans, self.scenario.routing,
+                plans, routing,
                 min(deadlines) if deadlines else None)
+            if kv_index is not None and cluster.index != kv_index:
+                # The affinity-blind router never saw the KV placement:
+                # only once the batch lands does each session's cached
+                # K/V have to re-stage over the host link, an ingress
+                # surcharge the routing decision did not price.
+                profile = self.profiles[(model, params_name, cluster.name)]
+                migrate = (len(batch) * info.kv_ciphertexts
+                           * profile.ciphertext_bytes
+                           / profile.io_bandwidth)
+                if self.time_scale != 1.0:
+                    migrate *= self.time_scale
+                t_in, t_c, t_out = batch_times[cluster.index]
+                source = self.clusters[kv_index]
+                mig_start, mig_end = source.occupy_egress(now, migrate)
+                self.cluster_stats[kv_index].io_union.add(
+                    mig_start, mig_end, now=now)
+                # The batch can't stage into the target before the
+                # source has streamed the KV out.
+                schedule = cluster.plan_batch(mig_end, t_in + migrate,
+                                              t_c, t_out)
+                self._migrate_sessions(now, batch, cluster)
             cluster.commit_batch(schedule, len(batch))
             _metric_inc("serve.batches", cluster=cluster.label)
             _metric_inc("serve.batched_requests", len(batch),
@@ -451,3 +713,22 @@ class EngineCore:
                 completion=schedule.completion)
             self._schedule(schedule.completion, P_COMPLETE,
                            self.handle_complete, (cluster, batch, batch_id))
+
+    def _migrate_sessions(self, now, batch, cluster):
+        """Re-pin the batch's sessions to the cluster that took it.
+
+        Only reachable with affinity disabled (or a retired KV
+        cluster): the migration transfer is paid as an ingress
+        surcharge on the batch the blind router never priced.  Each
+        session has at most one decode step in flight, so re-pinning
+        here cannot race a queued request.
+        """
+        for request in batch:
+            session = self._sessions.get(request.session)
+            if session is not None:
+                session["kv_cluster"] = cluster.index
+            self.stats[request.tenant].kv_migrations += 1
+            _metric_inc("serve.kv_migrations", tenant=request.tenant)
+        self.recorder.record(
+            "kv_migrate", now, cluster=cluster.label,
+            sessions=[r.session for r in batch])

@@ -101,6 +101,10 @@ class RoutingConfig:
     #: required slack between a routed batch's completion and its
     #: tightest deadline before a cheaper cluster is considered safe
     safety_margin_seconds: float = 0.0
+    #: route decode batches to the cluster holding their session's KV
+    #: ciphertexts (LLM tenants only; False = affinity-blind routing,
+    #: which migrates the KV cache over the host link on every switch)
+    session_affinity: bool = True
 
     def __post_init__(self):
         if self.mode not in _ROUTING_MODES:
@@ -119,13 +123,19 @@ class RoutingConfig:
             mode=data.get("mode", "greedy"),
             safety_margin_seconds=float(
                 data.get("safety_margin_seconds", 0.0)),
+            session_affinity=bool(data.get("session_affinity", True)),
         )
 
     def to_dict(self):
-        return {
+        data = {
             "mode": self.mode,
             "safety_margin_seconds": self.safety_margin_seconds,
         }
+        # Emitted only when non-default so CNN-only reports (and their
+        # committed goldens) keep their exact bytes.
+        if not self.session_affinity:
+            data["session_affinity"] = False
+        return data
 
 
 def select_cluster(plans, routing, tightest_deadline):
@@ -268,6 +278,23 @@ class ClusterState:
             egress_start=egress_start,
             egress_end=egress_end,
         )
+
+    def occupy_egress(self, now, seconds):
+        """Occupy the host-link egress path outside a batch.
+
+        Used for KV-cache exports under affinity-blind routing: the
+        migrated ciphertexts stream *out* of this cluster's host link
+        before they can stage into the target, delaying whatever
+        egress (or, serialized, whatever work at all) follows.
+        Returns the transfer's ``(start, end)`` span.
+        """
+        if self.mode == "serialized":
+            start = max(now, self.compute_free_at)
+            self.compute_free_at = start + seconds
+        else:
+            start = max(now, self.out_free_at)
+            self.out_free_at = start + seconds
+        return start, start + seconds
 
     def commit_batch(self, schedule, size):
         """Occupy the cluster's resources for a planned batch."""

@@ -81,7 +81,14 @@ def prepare_profiles(scenario, fleet_names=None, jobs=1, cache=None,
     keys = []
     requests = []
     seen = set()
-    batch_keys = sorted({t.batch_key for t in scenario.tenants})
+    # Every graph each tenant needs: CNN tenants contribute their model;
+    # LLM tenants contribute all three phase graphs (prefill / decode /
+    # recharge), each planned like any other benchmark.
+    batch_keys = sorted({
+        (model, tenant.params)
+        for tenant in scenario.tenants
+        for model in tenant.profile_models
+    })
     for fleet in fleet_names:
         entries = list(scenario.fleets[fleet])
         if (scenario.autoscale is not None

@@ -211,6 +211,10 @@ class LiveDriver:
         self._tasks = set()
         self._futures = {}
         self._inputs = {}
+        #: open token streams: session id -> asyncio.Queue of token
+        #: events (fed by the core's ``token_sink`` hook)
+        self._streams = {}
+        self.core.token_sink = self._on_token
 
     # -- clock ----------------------------------------------------------
 
@@ -235,6 +239,10 @@ class LiveDriver:
                 future.cancel()
         self._futures.clear()
         self._inputs.clear()
+        for stream in self._streams.values():
+            stream.put_nowait({"event": "aborted",
+                               "reason": "server stopping"})
+        self._streams.clear()
 
     # -- the core's schedule callback -----------------------------------
 
@@ -260,11 +268,16 @@ class LiveDriver:
 
     async def _complete_batch(self, due, payload):
         cluster, batch, batch_id = payload
+        # LLM phase requests (prefill/decode) stream tokens through the
+        # token sink instead; their single functional inference runs at
+        # session end, so only plain inference requests hit the pool
+        # here.
+        plain = [r for r in batch if r.phase is None]
         infer_futs = [
             self._loop.run_in_executor(
                 self.pool.executor, self.pool.infer,
                 self._inputs.pop(request.id, ()))
-            for request in batch
+            for request in plain
         ]
         outcomes = await asyncio.gather(*infer_futs,
                                         return_exceptions=True)
@@ -275,7 +288,7 @@ class LiveDriver:
             return
         now = self.now()
         self.core.handle_complete(now, payload)
-        for request, outcome in zip(batch, outcomes):
+        for request, outcome in zip(plain, outcomes):
             future = self._futures.pop(request.id, None)
             if future is None or future.done():
                 continue
@@ -291,6 +304,58 @@ class LiveDriver:
                 cluster=cluster.label,
                 latency_seconds=round(now - request.arrival, 6),
             ))
+
+    # -- token streaming ------------------------------------------------
+
+    def _on_token(self, now, request, done=False, aborted=False):
+        """The core's ``token_sink``: fan tokens out to session streams."""
+        stream = self._streams.get(request.session)
+        if stream is None:
+            return
+        if aborted:
+            stream.put_nowait({"event": "aborted",
+                               "reason": "decode step rejected at "
+                                         "admission"})
+        else:
+            stream.put_nowait({
+                "event": "token",
+                "token": request.token_index,
+                "of": request.tokens_total,
+                "recharge": request.recharge,
+                "time_seconds": round(now, 6),
+                "done": done,
+            })
+        if done or aborted:
+            self._streams.pop(request.session, None)
+
+    def submit_generate(self, tenant_name, values):
+        """Admit one live LLM session; returns ``(outcome, stream)``.
+
+        Returns ``(outcome, request, stream)``; ``request`` and
+        ``stream`` are None unless admitted.
+        ``stream`` (only on admission) is an :class:`asyncio.Queue`
+        yielding one event per generated token — the prefill token
+        first, then each decode step as the modeled fleet produces it —
+        ending with a ``done`` token or an ``aborted`` event.  The
+        submitted ``values`` stay parked for the session's single
+        functional inference at stream end.
+        """
+        tenant = self.core.tenants[tenant_name]
+        now = self.now()
+        request = self.core.make_request(tenant, now)
+        stream = asyncio.Queue()
+        self._streams[request.session] = stream
+        self._inputs[request.id] = values
+        outcome = self.core.handle_arrival(now, request)
+        if outcome != ADMITTED:
+            self._streams.pop(request.session, None)
+            self._inputs.pop(request.id, None)
+            return outcome, None, None
+        return outcome, request, stream
+
+    def take_input(self, request_id):
+        """Claim the parked input vector of an admitted LLM session."""
+        return self._inputs.pop(request_id, ())
 
     # -- request entry --------------------------------------------------
 
@@ -329,6 +394,13 @@ class LiveServer:
         GET  /v1/scenario  tenants, clusters, precompiled plans
         GET  /metrics      Prometheus text exposition (live counters)
         POST /v1/infer     {"tenant": ..., "values": [...]} -> inference
+                           (CNN tenants only)
+        POST /v1/generate  {"tenant": ..., "values": [...]} -> chunked
+                           NDJSON token stream (LLM tenants only): one
+                           chunk per generated token as the modeled
+                           fleet produces it, a final ``done`` chunk
+                           carrying the session's one functional CKKS
+                           inference, then the zero-length terminator
         POST /v1/shutdown  clean stop (CI teardown)
 
     Implemented on ``asyncio.start_server`` with connection-per-request
@@ -456,6 +528,11 @@ class LiveServer:
                 "error": f"unknown tenant {tenant!r}",
                 "tenants": sorted(self.driver.core.tenants),
             }
+        if self.driver.core.tenants[tenant].kind == "llm":
+            return 400, {
+                "error": f"tenant {tenant!r} is an LLM tenant; "
+                         f"POST /v1/generate to stream tokens",
+            }
         values = doc.get("values", [])
         if not isinstance(values, list):
             return 400, {"error": "values must be a list of numbers"}
@@ -477,6 +554,101 @@ class LiveServer:
             return 500, {"error": f"inference failed: {exc}"}
         return 200, dict(result, outcome=outcome)
 
+    @staticmethod
+    def _chunk(payload):
+        """One HTTP/1.1 chunk holding one NDJSON line."""
+        line = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        return f"{len(line):x}\r\n".encode() + line + b"\r\n"
+
+    async def _generate(self, body, writer):
+        """Stream one LLM session as chunked NDJSON.
+
+        Returns ``(status, payload)`` for pre-admission errors (the
+        caller writes a plain response), or ``None`` after the token
+        stream has been written and the connection closed here.
+        """
+        try:
+            doc = json.loads(body.decode() or "{}")
+        except ValueError:
+            return 400, {"error": "body must be JSON"}
+        tenant = doc.get("tenant")
+        if tenant not in self.driver.core.tenants:
+            return 404, {
+                "error": f"unknown tenant {tenant!r}",
+                "tenants": sorted(self.driver.core.tenants),
+            }
+        spec = self.driver.core.tenants[tenant]
+        if spec.kind != "llm":
+            return 400, {
+                "error": f"tenant {tenant!r} is kind {spec.kind!r}; "
+                         f"POST /v1/infer for single inferences",
+            }
+        values = doc.get("values", [])
+        if not isinstance(values, list):
+            return 400, {"error": "values must be a list of numbers"}
+        if self.driver.inflight >= self.max_inflight:
+            _metric_inc("serve.live.overloaded")
+            return 503, {
+                "error": "server at max inflight",
+                "max_inflight": self.max_inflight,
+            }
+        outcome, request, stream = self.driver.submit_generate(tenant,
+                                                               values)
+        if stream is None:
+            return 429, {"error": "rejected at admission",
+                         "outcome": outcome}
+        head = (
+            "HTTP/1.1 200\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode()
+        try:
+            writer.write(head)
+            await writer.drain()
+            start = self.driver.now()
+            while True:
+                event = dict(await stream.get())
+                kind = event.pop("event")
+                if kind == "aborted":
+                    writer.write(self._chunk({
+                        "event": "aborted", "tenant": tenant,
+                        "session": request.session, **event}))
+                    await writer.drain()
+                    break
+                done = event.pop("done", False)
+                writer.write(self._chunk({
+                    "event": "token", "tenant": tenant,
+                    "session": request.session,
+                    "latency_seconds": round(
+                        self.driver.now() - start, 6),
+                    **event}))
+                await writer.drain()
+                if done:
+                    # The session's single functional CKKS inference
+                    # rides in the terminal chunk.
+                    loop = asyncio.get_running_loop()
+                    try:
+                        result = await loop.run_in_executor(
+                            self.driver.pool.executor,
+                            self.driver.pool.infer,
+                            self.driver.take_input(request.id))
+                    except Exception as exc:  # noqa: BLE001
+                        result = {"error": f"inference failed: {exc}"}
+                    writer.write(self._chunk({
+                        "event": "done", "tenant": tenant,
+                        "session": request.session,
+                        "tokens": event.get("of"),
+                        "outcome": outcome, **result}))
+                    await writer.drain()
+                    break
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+            writer.close()
+        except (ConnectionError, asyncio.CancelledError):
+            writer.close()
+        return None
+
     async def _handle(self, reader, writer):
         status, payload, content_type = 500, {"error": "internal"}, None
         try:
@@ -493,6 +665,11 @@ class LiveServer:
                 status, (payload, content_type) = self._metrics()
             elif method == "POST" and path == "/v1/infer":
                 status, payload = await self._infer(body)
+            elif method == "POST" and path == "/v1/generate":
+                handled = await self._generate(body, writer)
+                if handled is None:
+                    return
+                status, payload = handled
             elif method == "POST" and path == "/v1/shutdown":
                 status, payload = 200, {"status": "shutting down"}
                 self.shutdown_event.set()

@@ -31,13 +31,26 @@ _INF = float("inf")
 
 @dataclass(frozen=True)
 class Request:
-    """One tenant inference request flowing through the system."""
+    """One tenant inference request flowing through the system.
+
+    CNN requests are single-phase (``phase`` is None).  LLM requests
+    carry multi-phase state: the prefill request opens a session, and
+    each generated token re-enters admission as a follow-on ``decode``
+    request whose batch key pins the cluster holding the session's KV
+    ciphertexts (``(model#decode, params, kv_cluster_index)``).
+    """
 
     id: int
     tenant: str
-    batch_key: tuple  # (model, params preset)
+    batch_key: tuple  # (model, params preset[, kv cluster index])
     arrival: float
     deadline: float = None  # absolute simulated time, None = no SLO
+    phase: str = None  # None (single-phase) | "prefill" | "decode"
+    session: int = None  # session id (the prefill request's id)
+    token_index: int = 0  # 1-based position of the token this produces
+    tokens_total: int = 0  # sampled generation length for the session
+    prompt_tokens: int = 0  # sampled prompt length (prefill pricing)
+    recharge: bool = False  # decode step preceded by a KV recharge
 
     @property
     def deadline_or_inf(self):
@@ -126,15 +139,22 @@ class AdmissionQueue:
                 ripe.append(key)
         return ripe
 
-    def take_batch(self, now, max_requests, window_seconds):
+    def take_batch(self, now, max_requests, window_seconds,
+                   dispatchable=None):
         """Extract the next policy-ordered ripe batch, or None.
 
         The policy ranks every pending request; the best-ranked request
         whose key is ripe selects the batch key, and up to
         ``max_requests`` same-key requests leave the queue in policy
         order.  Dispatch counts feed back into the fair-share policy.
+
+        ``dispatchable`` optionally filters ripe keys (key -> bool):
+        session-affine decode batches must not leave the queue while
+        the cluster holding their KV ciphertexts is busy.
         """
         ripe = set(self.ripe_keys(now, max_requests, window_seconds))
+        if dispatchable is not None:
+            ripe = {key for key in ripe if dispatchable(key)}
         if not ripe:
             return None
         candidates = [r for r in self.pending if r.batch_key in ripe]

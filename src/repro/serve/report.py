@@ -29,6 +29,15 @@ comparison minimizes), and fleets with an autoscaler attach an
 counts, and the full scale-event timeline with the policy signal that
 drove each action.
 
+v4 adds the **token streaming** vocabulary for ``kind: llm`` tenants:
+each LLM tenant row carries an ``llm`` block — time-to-first-token and
+inter-token latency sketches (p50/p95/p99) alongside the whole-request
+latency, token/session/recharge/migration counters, and the model's KV
+level-budget constants.  Scenarios without LLM tenants keep emitting
+``repro.serve/v3`` byte-for-byte: the v4 schema string, the ``llm``
+blocks, and ``routing.session_affinity`` only appear when the scenario
+uses them.
+
 All numbers are simulated-clock quantities; the only wall-clock data
 (planning time, cache hits) lives in the run manifest, which is
 deliberately *not* part of the report so that report JSON is
@@ -48,6 +57,7 @@ from repro.obs.streaming import (
 
 __all__ = [
     "REPORT_SCHEMA",
+    "REPORT_SCHEMA_LLM",
     "build_fleet_report",
     "build_report",
     "percentile",
@@ -55,6 +65,11 @@ __all__ = [
 ]
 
 REPORT_SCHEMA = "repro.serve/v3"
+
+#: Schema emitted when the scenario has ``kind: llm`` tenants (token
+#: streaming vocabulary); CNN-only scenarios stay on v3 so their
+#: committed goldens keep their exact bytes.
+REPORT_SCHEMA_LLM = "repro.serve/v4"
 
 #: Queue-depth series entries kept in an ``--exact`` report.
 _MAX_DEPTH_SAMPLES = 120
@@ -178,6 +193,24 @@ def build_fleet_report(engine, metrics_snapshot):
         # count is nonzero, keeping pre-elastic reports byte-identical.
         if stats.rejected_warming:
             tenants[name]["rejected_warming"] = stats.rejected_warming
+        # Token-streaming block, present only for kind: llm tenants —
+        # CNN rows (and every pre-LLM golden) are untouched.
+        if engine.tenants[name].kind == "llm":
+            info = engine.llm_info[engine.tenants[name].model]
+            tenants[name]["llm"] = {
+                "ttft_seconds": stats.ttft.summary(),
+                "inter_token_seconds": stats.inter_token.summary(),
+                "tokens": stats.tokens,
+                "tokens_per_second": stats.tokens / horizon,
+                "decode_steps": stats.decode_steps,
+                "recharges": stats.recharges,
+                "sessions_completed": stats.sessions_completed,
+                "sessions_aborted": stats.sessions_aborted,
+                "kv_migrations": stats.kv_migrations,
+                "kv_ciphertexts": info.kv_ciphertexts,
+                "levels_per_token": info.levels_per_token,
+                "tokens_between_recharges": info.tokens_between_recharges,
+            }
 
     engine.depth.finish(horizon)
     queue = {
@@ -238,10 +271,16 @@ def build_fleet_report(engine, metrics_snapshot):
 
 
 def build_report(scenario, fleet_names, fleet_reports, exact=False):
-    """The full ``repro.serve/v3`` document for one scenario run."""
+    """The full report document for one scenario run.
+
+    Emits ``repro.serve/v4`` when the scenario has LLM tenants and
+    ``repro.serve/v3`` otherwise (byte-stability of the committed CNN
+    goldens).
+    """
     telemetry = scenario.telemetry
+    has_llm = any(t.kind == "llm" for t in scenario.tenants)
     return {
-        "schema": REPORT_SCHEMA,
+        "schema": REPORT_SCHEMA_LLM if has_llm else REPORT_SCHEMA,
         "scenario": scenario.name,
         "seed": scenario.seed,
         "duration_seconds": scenario.duration_seconds,
@@ -309,6 +348,28 @@ def render_report(report):
             tenant_rows,
             title="Per-tenant SLO",
         ))
+        llm_rows = []
+        for name, t in fleet["tenants"].items():
+            llm = t.get("llm")
+            if llm is None:
+                continue
+            ttft = llm["ttft_seconds"]
+            itl = llm["inter_token_seconds"]
+            llm_rows.append([
+                name, llm["tokens"], f"{llm['tokens_per_second']:.3f}",
+                _fmt_latency(ttft["p50"]), _fmt_latency(itl["p50"]),
+                _fmt_latency(itl["p95"]), _fmt_latency(itl["p99"]),
+                llm["sessions_completed"], llm["sessions_aborted"],
+                llm["recharges"], llm["kv_migrations"],
+            ])
+        if llm_rows:
+            lines.append(format_table(
+                ["Tenant", "Tok", "Tok/s", "TTFT p50", "ITL p50",
+                 "ITL p95", "ITL p99", "Sess", "Abort", "Rechg",
+                 "Migr"],
+                llm_rows,
+                title="Per-tenant token streaming",
+            ))
         cluster_rows = [
             [f"{c['name']}#{c['replica']}",
              "elastic" if c["elastic"] else "static",

@@ -37,9 +37,12 @@ service profiles by accident.
 Schema v2 adds the optional ``routing`` block (SLO-aware fleet routing,
 :class:`~repro.serve.dispatch.RoutingConfig`) and ``autoscale`` block
 (elastic replica pools, :class:`~repro.serve.autoscale.AutoscaleConfig`)
-plus the diurnal/flash/mmpp arrival processes.  v1 documents — which
-predate all three — still load; committed scenario files must be on the
-current version (``repro serve --validate-scenarios`` enforces this).
+plus the diurnal/flash/mmpp arrival processes.  Schema v3 adds
+``kind: llm`` tenants — autoregressive transformer sessions with
+seeded ``prompt_tokens`` / ``output_tokens`` distributions (see
+:mod:`repro.llm`) — and ``routing.session_affinity``.  v1/v2 documents
+still load; committed scenario files must be on the current version
+(``repro serve --validate-scenarios`` enforces this).
 """
 
 from __future__ import annotations
@@ -71,12 +74,17 @@ __all__ = [
     "validate_scenario_files",
 ]
 
-SCENARIO_SCHEMA = "repro.serve.scenario/v2"
+SCENARIO_SCHEMA = "repro.serve.scenario/v3"
 
 #: Older scenario schema versions :meth:`Scenario.from_dict` still
 #: accepts from user files.  Committed files must be on the current
 #: version (see :func:`validate_scenario_files`).
-LEGACY_SCENARIO_SCHEMAS = ("repro.serve.scenario/v1",)
+LEGACY_SCENARIO_SCHEMAS = (
+    "repro.serve.scenario/v1",
+    "repro.serve.scenario/v2",
+)
+
+_TENANT_KINDS = ("cnn", "llm")
 
 #: Committed scenario files shipped with the package.
 SCENARIOS_DIR = Path(__file__).resolve().parent / "scenarios"
@@ -129,6 +137,13 @@ class TenantSpec:
     completing later still count toward throughput but not goodput (and
     EDF uses it for ordering).  ``ciphertexts_in`` / ``ciphertexts_out``
     size the host<->cluster staging transfers of one request.
+
+    ``kind: llm`` tenants (scenario schema v3) are autoregressive
+    sessions: each arrival opens a prefill + N-token decode session
+    whose prompt/output token counts are drawn per tenant from the
+    scenario seed (``prompt_tokens`` / ``output_tokens`` distribution
+    specs, see :func:`repro.llm.validate_token_distribution`).  The
+    deadline then covers the *whole* session (last token out).
     """
 
     name: str
@@ -146,13 +161,25 @@ class TenantSpec:
     #: ``(key, value)`` pairs (lists stored as tuples); see
     #: :func:`repro.serve.arrivals.validate_arrival` for the vocabulary
     arrival_extra: tuple = ()
+    #: "cnn" (single-phase request) | "llm" (prefill + decode session)
+    kind: str = "cnn"
+    #: token-count distribution specs as sorted ``(key, value)`` tuples
+    #: (llm tenants only; empty = the sampler defaults)
+    prompt_tokens: tuple = ()
+    output_tokens: tuple = ()
 
     def __post_init__(self):
         validate_arrival(self.name, self.process, self.rate_rps,
                          self.arrival_options)
+        if self.kind not in _TENANT_KINDS:
+            raise ValueError(
+                f"tenant {self.name!r}: unknown kind {self.kind!r}; "
+                f"choose from {_TENANT_KINDS}"
+            )
         if self.deadline_seconds is not None and self.deadline_seconds <= 0:
             raise ValueError(
-                f"tenant {self.name!r}: deadline_seconds must be positive"
+                f"tenant {self.name!r}: deadline_seconds must be "
+                f"positive, got {self.deadline_seconds!r}"
             )
         if self.ciphertexts_in < 1 or self.ciphertexts_out < 0:
             raise ValueError(
@@ -163,16 +190,58 @@ class TenantSpec:
                 f"tenant {self.name!r}: slo_budget must be in (0, 1]"
             )
         params_preset(self.params)  # fail fast on unknown presets
+        if self.kind == "llm":
+            from repro.llm import LLM_MODELS, validate_token_distribution
+
+            if self.model not in LLM_MODELS:
+                raise ValueError(
+                    f"tenant {self.name!r}: kind 'llm' needs a "
+                    f"transformer model, got {self.model!r} "
+                    f"(available: {', '.join(sorted(LLM_MODELS))})"
+                )
+            validate_token_distribution(
+                self.name, "prompt_tokens", self.prompt_token_options)
+            validate_token_distribution(
+                self.name, "output_tokens", self.output_token_options)
+        elif self.prompt_tokens or self.output_tokens:
+            raise ValueError(
+                f"tenant {self.name!r}: prompt_tokens/output_tokens "
+                f"need kind 'llm'"
+            )
 
     @property
     def batch_key(self):
-        """Batching-compatibility key: same model + same params."""
+        """Batching-compatibility key: same model + same params.
+
+        LLM arrivals enter admission as prefill requests; decode
+        continuations get their own per-session keys (see
+        :class:`repro.serve.queueing.Request`).
+        """
+        if self.kind == "llm":
+            return (f"{self.model}#prefill", self.params)
         return (self.model, self.params)
+
+    @property
+    def profile_models(self):
+        """Graph names this tenant needs service profiles for."""
+        if self.kind == "llm":
+            from repro.llm import profile_models
+
+            return profile_models(self.model)
+        return (self.model,)
 
     @property
     def arrival_options(self):
         """The process-specific extras as a plain dict."""
         return dict(self.arrival_extra)
+
+    @property
+    def prompt_token_options(self):
+        return dict(self.prompt_tokens)
+
+    @property
+    def output_token_options(self):
+        return dict(self.output_tokens)
 
     @classmethod
     def from_dict(cls, data):
@@ -194,6 +263,11 @@ class TenantSpec:
             ciphertexts_out=int(data.get("ciphertexts_out", 1)),
             slo_budget=float(data.get("slo_budget", 0.01)),
             arrival_extra=extra,
+            kind=data.get("kind", "cnn"),
+            prompt_tokens=tuple(sorted(
+                data.get("prompt_tokens", {}).items())),
+            output_tokens=tuple(sorted(
+                data.get("output_tokens", {}).items())),
         )
 
     def to_dict(self):
@@ -212,6 +286,12 @@ class TenantSpec:
         }
         if self.deadline_seconds is not None:
             doc["deadline_seconds"] = self.deadline_seconds
+        if self.kind != "cnn":
+            doc["kind"] = self.kind
+        if self.prompt_tokens:
+            doc["prompt_tokens"] = self.prompt_token_options
+        if self.output_tokens:
+            doc["output_tokens"] = self.output_token_options
         return doc
 
 
@@ -319,7 +399,15 @@ class Scenario:
             raise ValueError("scenario needs at least one fleet")
         names = [t.name for t in self.tenants]
         if len(set(names)) != len(names):
-            raise ValueError(f"duplicate tenant names in {names}")
+            seen, duplicates = set(), []
+            for name in names:
+                if name in seen and name not in duplicates:
+                    duplicates.append(name)
+                seen.add(name)
+            raise ValueError(
+                f"duplicate tenant name(s) {duplicates} "
+                f"(each of the {len(names)} tenants needs a unique name)"
+            )
         if self.policy == "edf" and all(
             t.deadline_seconds is None for t in self.tenants
         ):
@@ -365,13 +453,25 @@ class Scenario:
                 f"{source}: unsupported scenario schema {schema!r} "
                 f"(expected {SCENARIO_SCHEMA!r})"
             )
-        if schema in LEGACY_SCENARIO_SCHEMAS:
+        if schema == "repro.serve.scenario/v1":
             v2_only = sorted(k for k in ("routing", "autoscale")
                              if k in data)
             if v2_only:
                 raise ValueError(
                     f"{source}: {v2_only} need scenario schema "
-                    f"{SCENARIO_SCHEMA!r}, not {schema!r}"
+                    f"repro.serve.scenario/v2 or later, not {schema!r}"
+                )
+        if schema in LEGACY_SCENARIO_SCHEMAS:
+            v3_only = sorted(
+                k for k in ("kind", "prompt_tokens", "output_tokens")
+                for t in data.get("tenants", ()) if k in t
+            )
+            if "session_affinity" in data.get("routing", {}):
+                v3_only.append("routing.session_affinity")
+            if v3_only:
+                raise ValueError(
+                    f"{source}: {sorted(set(v3_only))} need scenario "
+                    f"schema {SCENARIO_SCHEMA!r}, not {schema!r}"
                 )
         batch = BatchConfig(**data.get("batch", {}))
         overheads = Overheads(**data.get("overheads", {}))

@@ -223,7 +223,7 @@ class TestRunValidation:
         assert report.ok
         names = [c.name for c in report.comparisons]
         assert names == ["convbn_3x3", "fc_bsgs", "nonlinear_polyeval_d7",
-                         "bootstrap_coeff_to_slot"]
+                         "bootstrap_coeff_to_slot", "attention_block"]
         assert "PASS" in report.render()
 
     @pytest.mark.parametrize("op", ["rotation", "automorphism"])

@@ -39,6 +39,7 @@ EXPECTED_WORKLOADS = (
     "sim.hydra_s.resnet18_step",
     "serve.steady.hydra_m",
     "serve.stream.hydra_m",
+    "serve.llm.chat",
 )
 
 
